@@ -1,0 +1,145 @@
+// Command ascdg runs the full AS-CDG flow against one of the built-in
+// units: corpus build, approximated target, coarse-grained TAC search,
+// skeletonization, random sampling, implicit-filtering optimization, and
+// harvesting (paper Fig. 2).
+//
+// Usage:
+//
+//	ascdg -unit iounit -family crc_fifo [-rounds 3] [-decay 0.4] ...
+//	ascdg -unit ifu -cross ifu
+//
+// The harvested best test-template is printed at the end and can be
+// saved with -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/duv"
+	_ "repro/internal/duv/ifu"
+	_ "repro/internal/duv/iounit"
+	_ "repro/internal/duv/l3cache"
+	_ "repro/internal/duv/noc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ascdg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	unitName := fs.String("unit", "", "built-in unit: "+strings.Join(duv.Names(), ", "))
+	family := fs.String("family", "", "target event family (e.g. crc_fifo, byp_reqs)")
+	cross := fs.String("cross", "", "target cross product (e.g. ifu)")
+	decay := fs.Float64("decay", 1.0, "approximated-target distance decay in (0,1]; 1 = plain family sum")
+	rounds := fs.Int("rounds", 1, "refinement rounds")
+	seed := fs.Uint64("seed", 1, "run seed")
+	corpus := fs.Int("corpus", 2000, "simulations per base template for the Before-CDG corpus")
+	samples := fs.Int("samples", 50, "random-sample phase: number of templates (n)")
+	sampleSims := fs.Int("sample-sims", 100, "random-sample phase: sims per template (N)")
+	iterations := fs.Int("iterations", 10, "optimizer iterations")
+	directions := fs.Int("directions", 10, "optimizer directions per iteration (n)")
+	optSims := fs.Int("opt-sims", 100, "optimizer sims per point (N)")
+	bestSims := fs.Int("best-sims", 2000, "standalone sims of the harvested template")
+	out := fs.String("out", "", "write the harvested test-template to this file")
+	loadRepo := fs.String("load-repo", "", "load the Before-CDG corpus from this JSON file instead of simulating")
+	saveRepo := fs.String("save-repo", "", "save the (possibly updated) coverage repository to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *unitName == "" {
+		fmt.Fprintln(stderr, "ascdg: -unit is required")
+		return 2
+	}
+	if (*family == "") == (*cross == "") {
+		fmt.Fprintln(stderr, "ascdg: exactly one of -family or -cross is required")
+		return 2
+	}
+	unit, err := duv.New(*unitName)
+	if err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 1
+	}
+
+	cfg := core.Config{
+		Seed:                  *seed,
+		CorpusSimsPerTemplate: *corpus,
+		SampleTemplates:       *samples,
+		SampleSims:            *sampleSims,
+		OptIterations:         *iterations,
+		OptDirections:         *directions,
+		OptSims:               *optSims,
+		BestSims:              *bestSims,
+	}
+	flow := core.NewFlow(unit, cfg)
+	if *loadRepo != "" {
+		repo, err := coverage.LoadFile(*loadRepo, unit.Model())
+		if err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+			return 1
+		}
+		flow.SetRepository(repo)
+	}
+
+	var reports []*core.Report
+	if *family != "" {
+		reports, err = flow.RunFamilyRefined(*family, *decay, *rounds)
+	} else {
+		var r *core.Report
+		r, err = flow.RunCross(*cross)
+		reports = append(reports, r)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 1
+	}
+
+	m := unit.Model()
+	for i, report := range reports {
+		fmt.Fprintf(stdout, "---- round %d ----\n", i+1)
+		fmt.Fprint(stdout, report.Summary(m))
+		if *family != "" {
+			table, err := report.FormatFamilyTable(m, *family)
+			if err != nil {
+				fmt.Fprintf(stderr, "ascdg: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, table)
+		} else {
+			cp, _ := m.Cross(*cross)
+			ids, err := m.IDs(cp.EventNames())
+			if err != nil {
+				fmt.Fprintf(stderr, "ascdg: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, report.FormatStatusTable(m, ids))
+		}
+		fmt.Fprintln(stdout, report.FormatProgress())
+	}
+
+	final := reports[len(reports)-1]
+	fmt.Fprintln(stdout, "harvested test-template:")
+	fmt.Fprint(stdout, final.BestTemplate.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(final.BestTemplate.String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "written to %s\n", *out)
+	}
+	if *saveRepo != "" {
+		if err := flow.Repository().SaveFile(*saveRepo); err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "repository saved to %s (%d sims)\n", *saveRepo, flow.Repository().Sims())
+	}
+	return 0
+}

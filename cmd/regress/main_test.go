@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMinimize(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "100", "-minimize"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "minimal covering suite") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "l3cache", "-sims", "100", "-policy", "500"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "policy for 500 simulations") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestPolicyFocusLightly(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "l3cache", "-sims", "200", "-policy", "500", "-focus-lightly"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("missing unit: exit %d", code)
+	}
+	if code := run([]string{"-unit", "iounit"}, &out, &errb); code != 2 {
+		t.Errorf("missing action: exit %d", code)
+	}
+	if code := run([]string{"-unit", "nope", "-minimize"}, &out, &errb); code != 1 {
+		t.Errorf("unknown unit: exit %d", code)
+	}
+	if code := run([]string{"-unit", "iounit", "-minimize", "-load", "/no/file"}, &out, &errb); code != 1 {
+		t.Errorf("bad load: exit %d", code)
+	}
+}

@@ -1,0 +1,78 @@
+// Command repro regenerates the paper's evaluation tables and figures
+// (Figs. 3-6 of "Automatic Scalable System for the Coverage-Directed
+// Generation (CDG) Problem", DATE 2021).
+//
+// Usage:
+//
+//	repro [-fig 3|4|5|6|all] [-scale 0.1] [-seed 1] [-rounds 5]
+//
+// -scale 1.0 runs the paper's full simulation budgets (669k-1M
+// "before" simulations per unit); the default 0.1 keeps every ratio but
+// divides the corpus and harvest budgets by ten.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6 or all")
+	scale := flag.Float64("scale", 0.1, "budget scale (1.0 = paper-scale simulation counts)")
+	seed := flag.Uint64("seed", 1, "random seed for the whole run")
+	rounds := flag.Int("rounds", 5, "max refinement rounds for family experiments")
+	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
+	flag.Parse()
+
+	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds}
+
+	var results []*figures.Result
+	var err error
+	switch *fig {
+	case "3":
+		var r *figures.Result
+		r, err = figures.Fig3(opts)
+		results = append(results, r)
+	case "4":
+		var r *figures.Result
+		r, err = figures.Fig4(opts)
+		results = append(results, r)
+	case "5":
+		var r *figures.Result
+		r, err = figures.Fig5(opts)
+		results = append(results, r)
+	case "6":
+		var r *figures.Result
+		r, err = figures.Fig6(opts)
+		results = append(results, r)
+	case "all":
+		results, err = figures.All(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown figure %q (want 3, 4, 5, 6 or all)\n", *fig)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("==== %s ====\n", r.Title)
+		fmt.Println(r.Text)
+		if r.Sims > 0 {
+			fmt.Printf("total simulations: %d\n", r.Sims)
+		}
+		fmt.Println()
+		if *csvDir != "" && r.CSV != "" {
+			path := filepath.Join(*csvDir, r.Name+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("series written to %s\n\n", path)
+		}
+	}
+}

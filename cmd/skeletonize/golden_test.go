@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFig1Golden pins the exact Fig. 1(b) transformation of the paper's
+// Fig. 1(a) snippet (testdata/lsu.tmpl at the repository root): non-zero
+// Mnemonic weights marked, "add: 0" left fixed, and the CacheDelay range
+// split into three marked subranges.
+func TestFig1Golden(t *testing.T) {
+	const want = `template lsu_stress_skel {
+    weight Mnemonic {
+        load:  <?>;
+        store: <?>;
+        add:   0;
+        mul:   <?>;
+    }
+    weight CacheDelay {
+        [0:32]:   <?>;
+        [33:66]:  <?>;
+        [67:100]: <?>;
+    }
+}
+`
+	var out, errb bytes.Buffer
+	code := run([]string{"-subranges", "3", "../../testdata/lsu.tmpl"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if out.String() != want {
+		t.Fatalf("Fig. 1(b) output drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}

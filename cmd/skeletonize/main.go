@@ -1,0 +1,76 @@
+// Command skeletonize runs the Skeletonizer on a test-template file and
+// prints the resulting skeleton with every modifiable weight marked as
+// "<?>" — the paper's Fig. 1(b) transformation.
+//
+// Usage:
+//
+//	skeletonize [-subranges 4] [-mode linear|geometric] [-zero] file.tmpl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/skeleton"
+	"repro/internal/template"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("skeletonize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	subranges := fs.Int("subranges", 4, "number of subranges per range parameter")
+	mode := fs.String("mode", "linear", "subrange split mode: linear or geometric")
+	zero := fs.Bool("zero", false, "also mark zero-weight entries")
+	slots := fs.Bool("slots", false, "also list the skeleton's slots")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: skeletonize [flags] <template-file>")
+		return 2
+	}
+
+	var m skeleton.SubrangeMode
+	switch *mode {
+	case "linear":
+		m = skeleton.Linear
+	case "geometric":
+		m = skeleton.Geometric
+	default:
+		fmt.Fprintf(stderr, "skeletonize: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	tmpl, err := template.ParseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "skeletonize: %v\n", err)
+		return 1
+	}
+	skel, err := skeleton.Skeletonize(tmpl, skeleton.Options{
+		IncludeZeroWeights: *zero,
+		Subranges:          *subranges,
+		Mode:               m,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "skeletonize: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, skel.MarkedSource())
+	if *slots {
+		fmt.Fprintf(stdout, "\n// %d modifiable settings:\n", skel.Dim())
+		for i, s := range skel.Slots() {
+			kind := "weight"
+			if s.Kind == skeleton.SlotSubrange {
+				kind = "subrange"
+			}
+			fmt.Fprintf(stdout, "//   %2d: %s %s (%s)\n", i, s.Param, s.Label, kind)
+		}
+	}
+	return 0
+}

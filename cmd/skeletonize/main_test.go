@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemplate(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lsu.tmpl")
+	src := `
+template lsu_stress {
+    weight Mnemonic {
+        load:  40;
+        add:   0;
+    }
+    range CacheDelay [0 : 100];
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesMarkedSkeleton(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-subranges", "2", writeTemplate(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "load:") || !strings.Contains(s, "<?>") {
+		t.Fatalf("missing marks:\n%s", s)
+	}
+	if strings.Count(s, "<?>") != 3 { // load + 2 subranges
+		t.Fatalf("marks = %d, want 3:\n%s", strings.Count(s, "<?>"), s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "add:") && strings.Contains(line, "<?>") {
+			t.Fatalf("zero weight should stay unmarked:\n%s", s)
+		}
+	}
+}
+
+func TestRunZeroFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-subranges", "2", "-zero", writeTemplate(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if strings.Count(out.String(), "<?>") != 4 {
+		t.Fatalf("with -zero marks = %d, want 4", strings.Count(out.String(), "<?>"))
+	}
+}
+
+func TestRunSlotsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-slots", writeTemplate(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "modifiable settings") {
+		t.Fatal("slot listing missing")
+	}
+}
+
+func TestRunGeometricMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "geometric", writeTemplate(t)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-mode", "bogus", writeTemplate(t)}, &out, &errb); code != 2 {
+		t.Errorf("bad mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"/does/not/exist.tmpl"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

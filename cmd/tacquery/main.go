@@ -1,0 +1,138 @@
+// Command tacquery answers Template-Aware Coverage queries against a
+// coverage repository: per-event statistics, uncovered/lightly-hit event
+// lists, and the best-templates query the AS-CDG coarse-grained search
+// uses.
+//
+// The repository is either built on the fly by simulating a built-in
+// unit's base regression suite (-unit/-sims) or loaded from a JSON file
+// previously written with -save.
+//
+// Usage:
+//
+//	tacquery -unit l3cache -sims 1000 [-save repo.json] [-events byp_reqs04,byp_reqs05] [-best 3]
+//	tacquery -unit l3cache -load repo.json -uncovered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/coverage"
+	"repro/internal/duv"
+	_ "repro/internal/duv/ifu"
+	_ "repro/internal/duv/iounit"
+	_ "repro/internal/duv/l3cache"
+	_ "repro/internal/duv/noc"
+	"repro/internal/sim"
+	statlib "repro/internal/stats"
+	"repro/internal/tac"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tacquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	unitName := fs.String("unit", "", "built-in unit: "+strings.Join(duv.Names(), ", "))
+	sims := fs.Int("sims", 1000, "simulations per base template when building the repository")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	load := fs.String("load", "", "load the repository from this JSON file instead of simulating")
+	save := fs.String("save", "", "save the repository to this JSON file")
+	events := fs.String("events", "", "comma-separated event names to report on (default: all)")
+	best := fs.Int("best", 0, "report the n best templates for the given events")
+	uncovered := fs.Bool("uncovered", false, "list never-hit events")
+	lightly := fs.Bool("lightly", false, "list lightly-hit events")
+	ci := fs.Bool("ci", false, "report 95% Wilson confidence intervals for hit rates")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *unitName == "" {
+		fmt.Fprintln(stderr, "tacquery: -unit is required")
+		return 2
+	}
+	unit, err := duv.New(*unitName)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacquery: %v\n", err)
+		return 1
+	}
+
+	var repo *coverage.Repository
+	if *load != "" {
+		repo, err = coverage.LoadFile(*load, unit.Model())
+		if err != nil {
+			fmt.Fprintf(stderr, "tacquery: %v\n", err)
+			return 1
+		}
+	} else {
+		env := sim.NewEnv(unit, *seed, 0)
+		repo = env.BuildCorpus(*sims)
+	}
+	if *save != "" {
+		if err := repo.SaveFile(*save); err != nil {
+			fmt.Fprintf(stderr, "tacquery: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "repository saved to %s (%d sims)\n", *save, repo.Sims())
+	}
+
+	stats := tac.New(repo)
+	m := unit.Model()
+
+	var ids []int
+	if *events != "" {
+		names := strings.Split(*events, ",")
+		ids, err = m.IDs(names)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacquery: %v\n", err)
+			return 1
+		}
+	}
+
+	switch {
+	case *uncovered:
+		for _, id := range repo.Uncovered() {
+			fmt.Fprintln(stdout, m.Name(id))
+		}
+	case *lightly:
+		for _, id := range repo.LightlyHit() {
+			fmt.Fprintln(stdout, m.Name(id))
+		}
+	case *best > 0:
+		if ids == nil {
+			fmt.Fprintln(stderr, "tacquery: -best requires -events")
+			return 2
+		}
+		scores, err := stats.BestTemplates(ids, nil, *best)
+		if err != nil {
+			fmt.Fprintf(stderr, "tacquery: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-24s %10s %10s\n", "template", "score", "sims")
+		for _, s := range scores {
+			fmt.Fprintf(stdout, "%-24s %10.4f %10d\n", s.Name, s.Score, s.Sims)
+		}
+	default:
+		rows := stats.Report(ids)
+		header := fmt.Sprintf("%-24s %10s %10s %-8s %-24s %8s",
+			"event", "hits", "rate", "status", "best template", "P(hit)")
+		if *ci {
+			header += "  95% CI"
+		}
+		fmt.Fprintln(stdout, header)
+		sims := repo.Sims()
+		for _, r := range rows {
+			line := fmt.Sprintf("%-24s %10d %9.3f%% %-8s %-24s %7.3f%%",
+				r.Name, r.Hits, r.Rate*100, r.Status, r.BestTpl, r.BestP*100)
+			if *ci {
+				line += "  " + statlib.Wilson(r.Hits, sims).String()
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	return 0
+}

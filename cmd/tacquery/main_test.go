@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportDefault(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "50"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"crc_004", "crc_096", "status", "best template"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestUncoveredList(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "50", "-uncovered"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "crc_096") {
+		t.Fatalf("crc_096 should be uncovered at 50 sims/template:\n%s", out.String())
+	}
+}
+
+func TestLightlyList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-unit", "iounit", "-sims", "50", "-lightly"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestBestTemplatesQuery(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "100",
+		"-events", "crc_008,crc_016", "-best", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "io_crc_stress") {
+		t.Fatalf("coarse search should rank io_crc_stress first:\n%s", out.String())
+	}
+}
+
+func TestSaveAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-unit", "iounit", "-sims", "30", "-save", path}, &out, &errb); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-unit", "iounit", "-load", path}, &out, &errb); code != 0 {
+		t.Fatalf("load exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "crc_004") {
+		t.Fatal("loaded report empty")
+	}
+	// Loading against the wrong unit must fail.
+	if code := run([]string{"-unit", "l3cache", "-load", path}, &out, &errb); code != 1 {
+		t.Fatalf("wrong-unit load exit %d, want 1", code)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("missing unit: exit %d, want 2", code)
+	}
+	if code := run([]string{"-unit", "nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown unit: exit %d, want 1", code)
+	}
+	if code := run([]string{"-unit", "iounit", "-sims", "10", "-events", "zzz"}, &out, &errb); code != 1 {
+		t.Errorf("unknown event: exit %d, want 1", code)
+	}
+	if code := run([]string{"-unit", "iounit", "-sims", "10", "-best", "2"}, &out, &errb); code != 2 {
+		t.Errorf("-best without -events: exit %d, want 2", code)
+	}
+	if code := run([]string{"-unit", "iounit", "-load", "/no/such/file"}, &out, &errb); code != 1 {
+		t.Errorf("missing load file: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,531 @@
+// Package core implements the AS-CDG flow (paper Section IV, Fig. 2):
+// the CDG-Runner orchestration that ties the substrates together.
+//
+// Given target coverage events, the flow
+//
+//  1. builds (or reuses) the "Before CDG" corpus: the unit's base
+//     regression suite simulated into a coverage repository;
+//  2. forms the approximated target from neighbor events;
+//  3. runs the coarse-grained search: TAC finds the best existing
+//     test-templates for the approximated target, and the parameters of
+//     the top-n templates are merged into one candidate template;
+//  4. skeletonizes the candidate, defining the fine-grained search box;
+//  5. random-samples the box (n templates x N sims each) and picks the
+//     best starting point;
+//  6. optimizes with implicit filtering (n+1 templates per iteration,
+//     N sims per template);
+//  7. harvests the best template and measures it standalone.
+//
+// Every phase's aggregate coverage is retained so the paper's result
+// tables (Figs. 3-5) and the optimization progress curve (Fig. 6) can be
+// reproduced directly from one Report.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/duv"
+	"repro/internal/neighbors"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+	"repro/internal/tac"
+	"repro/internal/template"
+)
+
+// Config holds every knob of the flow. The zero value selects the
+// defaults documented per field; the paper's per-unit settings live in
+// the repro harness (cmd/repro).
+type Config struct {
+	// Seed makes the entire flow reproducible.
+	Seed uint64
+	// Workers sizes the batch environment's pool (<= 0: GOMAXPROCS).
+	Workers int
+
+	// CorpusSimsPerTemplate is the number of simulations of each base
+	// template when building the "Before CDG" corpus (default 1000).
+	CorpusSimsPerTemplate int
+
+	// TopTemplates is how many best TAC templates contribute parameters
+	// to the fine-grained search (default 2).
+	TopTemplates int
+
+	// Subranges, SubrangeMode and IncludeZeroWeights configure the
+	// Skeletonizer (defaults: 4, Linear, false).
+	Subranges          int
+	SubrangeMode       skeleton.SubrangeMode
+	IncludeZeroWeights bool
+
+	// SampleTemplates (n) and SampleSims (N) configure the random
+	// sample phase (defaults 50 and 100).
+	SampleTemplates int
+	SampleSims      int
+
+	// OptIterations, OptDirections and OptSims configure implicit
+	// filtering (defaults 10, 10, 100). InitialStep and MinStep default
+	// to a quarter and 1/64 of the weight box. NoResampleCenter disables
+	// the center-resampling noise guard (ablation).
+	OptIterations    int
+	OptDirections    int
+	OptSims          int
+	InitialStep      float64
+	MinStep          float64
+	NoResampleCenter bool
+	// TargetValue optionally stops the optimizer early (0 = disabled).
+	TargetValue float64
+
+	// BestSims is the standalone evaluation budget for the harvested
+	// template (default 2000).
+	BestSims int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CorpusSimsPerTemplate <= 0 {
+		c.CorpusSimsPerTemplate = 1000
+	}
+	if c.TopTemplates <= 0 {
+		c.TopTemplates = 2
+	}
+	if c.Subranges <= 0 {
+		c.Subranges = 4
+	}
+	if c.SampleTemplates <= 0 {
+		c.SampleTemplates = 50
+	}
+	if c.SampleSims <= 0 {
+		c.SampleSims = 100
+	}
+	if c.OptIterations <= 0 {
+		c.OptIterations = 10
+	}
+	if c.OptDirections <= 0 {
+		c.OptDirections = 10
+	}
+	if c.OptSims <= 0 {
+		c.OptSims = 100
+	}
+	if c.BestSims <= 0 {
+		c.BestSims = 2000
+	}
+	return c
+}
+
+// PhaseStats is one phase's aggregate coverage — one column group of the
+// paper's Figs. 3 and 4.
+type PhaseStats struct {
+	// Name is "before", "sampling", "optimization" or "best".
+	Name string
+	// Description summarizes the phase's budget, e.g. "200 tests x 100
+	// sims each".
+	Description string
+	// Counts aggregates every simulation of the phase.
+	Counts *coverage.Counts
+}
+
+// Report is the full outcome of one AS-CDG run.
+type Report struct {
+	Unit         string
+	Target       *neighbors.Target
+	TargetEvents []int // the real (uncovered) target events
+
+	// ChosenTemplates are the coarse-grained search winners.
+	ChosenTemplates []tac.TemplateScore
+	// Candidate is the merged template handed to the Skeletonizer.
+	Candidate *template.Template
+	// Skeleton is the fine-grained search space.
+	Skeleton *skeleton.Skeleton
+
+	Phases []PhaseStats
+
+	// BestWeights/BestTemplate are the harvested optimum.
+	BestWeights  []float64
+	BestTemplate *template.Template
+
+	// Progress is the optimizer's per-iteration best target value — the
+	// paper's Fig. 6 series.
+	Progress []opt.IterRecord
+
+	// TotalSims is the number of simulations consumed by the whole run
+	// (excluding a pre-built corpus).
+	TotalSims uint64
+}
+
+// Phase returns the named phase's stats, or nil.
+func (r *Report) Phase(name string) *PhaseStats {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Flow runs AS-CDG against one unit.
+type Flow struct {
+	env   *sim.Env
+	cfg   Config
+	repo  *coverage.Repository
+	extra map[string]*template.Template // harvested templates, by name
+	round int                           // refinement round counter (names harvested templates)
+}
+
+// NewFlow creates a flow for the unit.
+func NewFlow(unit duv.DUV, cfg Config) *Flow {
+	cfg = cfg.withDefaults()
+	return &Flow{
+		env:   sim.NewEnv(unit, cfg.Seed, cfg.Workers),
+		cfg:   cfg,
+		extra: map[string]*template.Template{},
+	}
+}
+
+// Env exposes the flow's batch environment (for accounting).
+func (f *Flow) Env() *sim.Env { return f.env }
+
+// SetRepository installs a pre-built "Before CDG" corpus, so multiple
+// runs against the same unit share the expensive regression phase.
+func (f *Flow) SetRepository(repo *coverage.Repository) { f.repo = repo }
+
+// Repository returns the flow's corpus (nil until built or set).
+func (f *Flow) Repository() *coverage.Repository { return f.repo }
+
+// RunFamily is the common entry point for buffer-utilization families:
+// the real targets are the family's uncovered events, and the
+// approximated target is the decay-weighted family (decay 1 = the
+// paper's plain family sum).
+func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
+	model := f.env.Unit().Model()
+	famIDs, ok := model.Family(family)
+	if !ok {
+		return nil, fmt.Errorf("core: unit %q has no family %q", f.env.Unit().Name(), family)
+	}
+	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	// Real targets: the family events still uncovered after the corpus.
+	var targets []int
+	for _, id := range famIDs {
+		if f.repo.Total().Hits(id) == 0 {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		// Everything already covered: aim at the deepest (last) member.
+		targets = famIDs[len(famIDs)-1:]
+	}
+	ws, err := neighbors.Ordinal(model, family, targets, decay)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(neighbors.NewTarget(ws), targets)
+}
+
+// RunCross is the entry point for cross-product coverage (the paper's
+// IFU experiment): the targets are the cross's uncovered events, and the
+// approximated target spans the whole cross product uniformly.
+func (f *Flow) RunCross(crossName string) (*Report, error) {
+	model := f.env.Unit().Model()
+	cp, ok := model.Cross(crossName)
+	if !ok {
+		return nil, fmt.Errorf("core: unit %q has no cross product %q", f.env.Unit().Name(), crossName)
+	}
+	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	ids, err := model.IDs(cp.EventNames())
+	if err != nil {
+		return nil, err
+	}
+	var targets []int
+	for _, id := range ids {
+		if f.repo.Total().Hits(id) == 0 {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		targets = ids
+	}
+	return f.Run(neighbors.Uniform(ids), targets)
+}
+
+// RunFamilyRefined repeats RunFamily up to rounds times, implementing
+// the paper's closing observation in Section IV-E: "Once there is good
+// evidence for the target event, we can repeat the process." Each round
+// re-derives the real targets from the updated repository (events the
+// previous round newly covered drop out), and the previous round's
+// harvested template competes in the coarse-grained search, so the
+// skeleton of round k+1 starts from the best knowledge of round k. The
+// loop stops early once every family event has evidence.
+func (f *Flow) RunFamilyRefined(family string, decay float64, rounds int) ([]*Report, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var reports []*Report
+	for round := 0; round < rounds; round++ {
+		report, err := f.RunFamily(family, decay)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, report)
+		model := f.env.Unit().Model()
+		famIDs, _ := model.Family(family)
+		uncovered := 0
+		for _, id := range famIDs {
+			if f.repo.Total().Hits(id) == 0 {
+				uncovered++
+			}
+		}
+		if uncovered == 0 {
+			break
+		}
+	}
+	return reports, nil
+}
+
+func (f *Flow) ensureCorpus() error {
+	if f.repo != nil {
+		return nil
+	}
+	f.repo = f.env.BuildCorpus(f.cfg.CorpusSimsPerTemplate)
+	return nil
+}
+
+// Run executes the flow for an approximated target and the list of real
+// target events.
+func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error) {
+	if target == nil || target.Len() == 0 {
+		return nil, fmt.Errorf("core: empty approximated target")
+	}
+	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	model := f.env.Unit().Model()
+	simsAtStart := f.env.Simulations()
+	report := &Report{
+		Unit:         f.env.Unit().Name(),
+		Target:       target,
+		TargetEvents: append([]int(nil), targetEvents...),
+	}
+	report.Phases = append(report.Phases, PhaseStats{
+		Name:        "before",
+		Description: fmt.Sprintf("%d sims", f.repo.Sims()),
+		Counts:      f.repo.Total().Clone(),
+	})
+
+	// Coarse-grained search (paper Section IV-B). The repository may
+	// contain statistics for templates whose bodies the flow does not
+	// have (e.g. templates harvested by earlier runs against a shared
+	// corpus); only templates with known bodies can seed the skeleton,
+	// so rank all templates and keep the best TopTemplates known ones.
+	stats := tac.New(f.repo)
+	ranked, err := stats.BestTemplates(target.Events(), target.Weights(), 0)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*template.Template{}
+	for _, t := range f.env.Unit().BaseTemplates() {
+		byName[t.Name] = t
+	}
+	for name, t := range f.extra {
+		byName[name] = t
+	}
+	var best []tac.TemplateScore
+	var chosen []*template.Template
+	for _, ts := range ranked {
+		t, ok := byName[ts.Name]
+		if !ok {
+			continue
+		}
+		best = append(best, ts)
+		chosen = append(chosen, t)
+		if len(best) == f.cfg.TopTemplates {
+			break
+		}
+	}
+	if len(best) == 0 || best[0].Score == 0 {
+		return nil, fmt.Errorf("core: no existing template shows evidence for the approximated target; widen the neighborhood")
+	}
+	report.ChosenTemplates = best
+	candidate := MergeTemplates(f.env.Unit().Name()+"_cdg_candidate", chosen)
+	report.Candidate = candidate
+
+	// Skeletonize (paper Section IV-C).
+	skel, err := skeleton.Skeletonize(candidate, skeleton.Options{
+		IncludeZeroWeights: f.cfg.IncludeZeroWeights,
+		Subranges:          f.cfg.Subranges,
+		Mode:               f.cfg.SubrangeMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Skeleton = skel
+
+	r := rng.New(f.cfg.Seed).SplitString("cdg-runner")
+
+	// Random sample phase (paper Section IV-D).
+	samples, samplePhase, err := f.samplePhase(skel, r.SplitString("sample"))
+	if err != nil {
+		return nil, err
+	}
+	bestX := bestSample(samples, target)
+	report.Phases = append(report.Phases, PhaseStats{
+		Name:        "sampling",
+		Description: fmt.Sprintf("%d tests x %d sims each", f.cfg.SampleTemplates, f.cfg.SampleSims),
+		Counts:      samplePhase,
+	})
+
+	// Optimization phase (paper Section IV-E, Algorithm 1).
+	optPhase := coverage.NewCountsFor(model)
+	objective := func(x []float64) float64 {
+		tmpl, err := skel.Instantiate("cand", x)
+		if err != nil {
+			// Instantiate only fails on dimension mismatch, which would
+			// be a programming error here.
+			panic(err)
+		}
+		counts := f.env.Run(tmpl, f.cfg.OptSims)
+		optPhase.Merge(counts)
+		return target.Score(counts)
+	}
+	res, err := opt.ImplicitFiltering(objective, bestX, opt.Options{
+		Directions:       f.cfg.OptDirections,
+		InitialStep:      f.cfg.InitialStep,
+		MinStep:          f.cfg.MinStep,
+		MaxIterations:    f.cfg.OptIterations,
+		TargetValue:      f.cfg.TargetValue,
+		NoResampleCenter: f.cfg.NoResampleCenter,
+		Lo:               0,
+		Hi:               float64(skel.MaxWeight()),
+		RNG:              r.SplitString("optimize"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Progress = res.History
+	report.Phases = append(report.Phases, PhaseStats{
+		Name: "optimization",
+		Description: fmt.Sprintf("%d iterations x %d tests x %d sims",
+			len(res.History), f.cfg.OptDirections+1, f.cfg.OptSims),
+		Counts: optPhase,
+	})
+
+	// Harvest (paper Section IV-F): measure the best template standalone.
+	f.round++
+	report.BestWeights = res.X
+	bestTemplate, err := skel.Instantiate(fmt.Sprintf("%s_cdg_best_%d", f.env.Unit().Name(), f.round), res.X)
+	if err != nil {
+		return nil, err
+	}
+	report.BestTemplate = bestTemplate
+	bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+	report.Phases = append(report.Phases, PhaseStats{
+		Name:        "best",
+		Description: fmt.Sprintf("%d sims", f.cfg.BestSims),
+		Counts:      bestCounts,
+	})
+
+	// The harvested template joins the regression suite: record its runs
+	// in the repository and keep its body so a refinement round's
+	// coarse-grained search may select it.
+	f.repo.RecordCounts(bestTemplate.Name, bestCounts)
+	f.extra[bestTemplate.Name] = bestTemplate
+
+	report.TotalSims = f.env.Simulations() - simsAtStart
+	return report, nil
+}
+
+// sample is one evaluated point of the random-sample phase.
+type sample struct {
+	x      []float64
+	counts *coverage.Counts
+}
+
+// samplePhase runs the random-sample phase: SampleTemplates uniform
+// points in the skeleton's weight box, SampleSims sims each. It returns
+// the individual samples (so several targets can each pick their own
+// best starting point from the same simulations) and the phase
+// aggregate.
+func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *coverage.Counts, error) {
+	model := f.env.Unit().Model()
+	aggregate := coverage.NewCountsFor(model)
+	samples := make([]sample, 0, f.cfg.SampleTemplates)
+	for i := 0; i < f.cfg.SampleTemplates; i++ {
+		x := skel.RandomWeights(r)
+		tmpl, err := skel.Instantiate(fmt.Sprintf("sample_%03d", i), x)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts := f.env.Run(tmpl, f.cfg.SampleSims)
+		aggregate.Merge(counts)
+		samples = append(samples, sample{x: x, counts: counts})
+	}
+	return samples, aggregate, nil
+}
+
+// bestSample returns the sampled point with the highest target score.
+func bestSample(samples []sample, target *neighbors.Target) []float64 {
+	best := samples[0].x
+	bestScore := target.Score(samples[0].counts)
+	for _, s := range samples[1:] {
+		if score := target.Score(s.counts); score > bestScore {
+			bestScore = score
+			best = s.x
+		}
+	}
+	return best
+}
+
+// MergeTemplates unions the parameters of the given templates (highest
+// TAC rank first) into one candidate template. For weight parameters
+// appearing in several templates, entries are unioned and each entry
+// keeps its maximum weight; range parameters merge to the widest span.
+// If the same name appears as different parameter kinds, the
+// higher-ranked template's kind wins. This realizes the paper's "the
+// parameters in these test-templates are ... the ones used in the
+// fine-grained search" with a concrete, deterministic policy.
+func MergeTemplates(name string, ts []*template.Template) *template.Template {
+	merged := template.New(name)
+	for _, t := range ts {
+		for _, p := range t.Params {
+			existing, ok := merged.Param(p.ParamName())
+			if !ok {
+				merged.Params = append(merged.Params, p.CloneParam())
+				continue
+			}
+			switch have := existing.(type) {
+			case *template.WeightParam:
+				add, ok := p.(*template.WeightParam)
+				if !ok {
+					continue // kind conflict: first (higher-ranked) wins
+				}
+				for _, e := range add.Entries {
+					if cur, ok := have.Entry(e.Label()); ok {
+						if e.Weight > cur.Weight {
+							for i := range have.Entries {
+								if have.Entries[i].Label() == e.Label() {
+									have.Entries[i].Weight = e.Weight
+								}
+							}
+						}
+						continue
+					}
+					have.Entries = append(have.Entries, e)
+				}
+			case *template.RangeParam:
+				add, ok := p.(*template.RangeParam)
+				if !ok {
+					continue
+				}
+				if add.Lo < have.Lo {
+					have.Lo = add.Lo
+				}
+				if add.Hi > have.Hi {
+					have.Hi = add.Hi
+				}
+			}
+		}
+	}
+	return merged
+}

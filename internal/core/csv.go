@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coverage"
+)
+
+// FamilyCSV renders the Figs. 3/4 table as CSV: one row per family
+// event, hits and hit-rate columns per phase. Machine-readable
+// counterpart of FormatFamilyTable for plotting.
+func (r *Report) FamilyCSV(m *coverage.Model, family string) (string, error) {
+	ids, ok := m.Family(family)
+	if !ok {
+		return "", fmt.Errorf("core: unknown family %q", family)
+	}
+	var b strings.Builder
+	b.WriteString("event")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, ",%s_hits,%s_rate", p.Name, p.Name)
+	}
+	b.WriteString("\n")
+	for _, id := range ids {
+		b.WriteString(m.Name(id))
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, ",%d,%.6f", p.Counts.Hits(id), p.Counts.HitRate(id))
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// StatusCSV renders the Fig. 5 series as CSV: one row per phase with
+// never/lightly/well counts over the given events.
+func (r *Report) StatusCSV(events []int) string {
+	var b strings.Builder
+	b.WriteString("phase,never,lightly,well\n")
+	for _, p := range r.Phases {
+		sc := p.Counts.StatusCounts(events)
+		fmt.Fprintf(&b, "%s,%d,%d,%d\n", p.Name,
+			sc[coverage.StatusNever], sc[coverage.StatusLightly], sc[coverage.StatusWell])
+	}
+	return b.String()
+}
+
+// ProgressCSV renders the Fig. 6 series as CSV: one row per optimizer
+// iteration.
+func (r *Report) ProgressCSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,best,step,moved,evals\n")
+	for _, h := range r.Progress {
+		fmt.Fprintf(&b, "%d,%.6f,%.4f,%t,%d\n", h.Iter, h.Best, h.Step, h.Moved, h.Evals)
+	}
+	return b.String()
+}

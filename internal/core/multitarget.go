@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/neighbors"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/skeleton"
+	"repro/internal/tac"
+	"repro/internal/template"
+)
+
+// RunPerEventShared implements the paper's future-work direction
+// (Section VI): amortizing simulations across several target events.
+// Every uncovered event of the family becomes its own optimization
+// target with its own distance-weighted approximated target, but the
+// expensive shared phases run once:
+//
+//   - the "Before CDG" corpus,
+//   - the coarse-grained TAC search and the skeleton,
+//   - the random-sample phase — each target picks its own best starting
+//     point from the same n x N simulations.
+//
+// Only the optimization and harvest phases run per target. Compared to
+// independent Run calls for k targets this saves (k-1) x (corpus +
+// sampling) simulations.
+//
+// It returns one report per target event, in family order.
+func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error) {
+	model := f.env.Unit().Model()
+	famIDs, ok := model.Family(family)
+	if !ok {
+		return nil, fmt.Errorf("core: unit %q has no family %q", f.env.Unit().Name(), family)
+	}
+	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	simsAtStart := f.env.Simulations()
+
+	var targets []int
+	for _, id := range famIDs {
+		if f.repo.Total().Hits(id) == 0 {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		targets = famIDs[len(famIDs)-1:]
+	}
+
+	// Shared coarse-grained search, driven by the union target.
+	unionWS, err := neighbors.Ordinal(model, family, targets, decay)
+	if err != nil {
+		return nil, err
+	}
+	union := neighbors.NewTarget(unionWS)
+	stats := tac.New(f.repo)
+	ranked, err := stats.BestTemplates(union.Events(), union.Weights(), 0)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*template.Template{}
+	for _, t := range f.env.Unit().BaseTemplates() {
+		byName[t.Name] = t
+	}
+	for name, t := range f.extra {
+		byName[name] = t
+	}
+	var chosenScores []tac.TemplateScore
+	var chosen []*template.Template
+	for _, ts := range ranked {
+		t, ok := byName[ts.Name]
+		if !ok {
+			continue
+		}
+		chosenScores = append(chosenScores, ts)
+		chosen = append(chosen, t)
+		if len(chosen) == f.cfg.TopTemplates {
+			break
+		}
+	}
+	if len(chosen) == 0 || chosenScores[0].Score == 0 {
+		return nil, fmt.Errorf("core: no existing template shows evidence for the family %q", family)
+	}
+	candidate := MergeTemplates(f.env.Unit().Name()+"_cdg_candidate", chosen)
+	skel, err := skeleton.Skeletonize(candidate, skeleton.Options{
+		IncludeZeroWeights: f.cfg.IncludeZeroWeights,
+		Subranges:          f.cfg.Subranges,
+		Mode:               f.cfg.SubrangeMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared random sampling.
+	r := rng.New(f.cfg.Seed).SplitString("cdg-runner-shared")
+	samples, sampleAggregate, err := f.samplePhase(skel, r.SplitString("sample"))
+	if err != nil {
+		return nil, err
+	}
+	sharedSims := f.env.Simulations() - simsAtStart
+
+	before := f.repo.Total().Clone()
+	reports := make([]*Report, 0, len(targets))
+	for _, ev := range targets {
+		ws, err := neighbors.Ordinal(model, family, []int{ev}, decay)
+		if err != nil {
+			return nil, err
+		}
+		target := neighbors.NewTarget(ws)
+		report := &Report{
+			Unit:            f.env.Unit().Name(),
+			Target:          target,
+			TargetEvents:    []int{ev},
+			ChosenTemplates: chosenScores,
+			Candidate:       candidate,
+			Skeleton:        skel,
+		}
+		report.Phases = append(report.Phases, PhaseStats{
+			Name:        "before",
+			Description: fmt.Sprintf("%d sims (shared)", before.Sims()),
+			Counts:      before,
+		})
+		report.Phases = append(report.Phases, PhaseStats{
+			Name: "sampling",
+			Description: fmt.Sprintf("%d tests x %d sims each (shared)",
+				f.cfg.SampleTemplates, f.cfg.SampleSims),
+			Counts: sampleAggregate,
+		})
+
+		perTargetStart := f.env.Simulations()
+		optPhase := coverage.NewCountsFor(model)
+		objective := func(x []float64) float64 {
+			tmpl, err := skel.Instantiate("cand", x)
+			if err != nil {
+				panic(err)
+			}
+			counts := f.env.Run(tmpl, f.cfg.OptSims)
+			optPhase.Merge(counts)
+			return target.Score(counts)
+		}
+		res, err := opt.ImplicitFiltering(objective, bestSample(samples, target), opt.Options{
+			Directions:       f.cfg.OptDirections,
+			InitialStep:      f.cfg.InitialStep,
+			MinStep:          f.cfg.MinStep,
+			MaxIterations:    f.cfg.OptIterations,
+			TargetValue:      f.cfg.TargetValue,
+			NoResampleCenter: f.cfg.NoResampleCenter,
+			Lo:               0,
+			Hi:               float64(skel.MaxWeight()),
+			RNG:              r.SplitString("optimize-" + model.Name(ev)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		report.Progress = res.History
+		report.Phases = append(report.Phases, PhaseStats{
+			Name: "optimization",
+			Description: fmt.Sprintf("%d iterations x %d tests x %d sims",
+				len(res.History), f.cfg.OptDirections+1, f.cfg.OptSims),
+			Counts: optPhase,
+		})
+
+		f.round++
+		report.BestWeights = res.X
+		bestTemplate, err := skel.Instantiate(
+			fmt.Sprintf("%s_cdg_%s_best", f.env.Unit().Name(), model.Name(ev)), res.X)
+		if err != nil {
+			return nil, err
+		}
+		report.BestTemplate = bestTemplate
+		bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+		report.Phases = append(report.Phases, PhaseStats{
+			Name:        "best",
+			Description: fmt.Sprintf("%d sims", f.cfg.BestSims),
+			Counts:      bestCounts,
+		})
+		f.repo.RecordCounts(bestTemplate.Name, bestCounts)
+		f.extra[bestTemplate.Name] = bestTemplate
+
+		// Per-target accounting: this target's own spend plus its share
+		// of the common phases.
+		report.TotalSims = f.env.Simulations() - perTargetStart + sharedSims/uint64(len(targets))
+		reports = append(reports, report)
+	}
+	return reports, nil
+}

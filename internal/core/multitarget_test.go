@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/duv/l3cache"
+)
+
+func TestRunPerEventSharedBasics(t *testing.T) {
+	flow := NewFlow(l3cache.New(), smallConfig(21))
+	reports, err := flow.RunPerEventShared(l3cache.FamilyName, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 2 {
+		t.Fatalf("expected several per-event reports, got %d", len(reports))
+	}
+	names := map[string]bool{}
+	for _, r := range reports {
+		if len(r.TargetEvents) != 1 {
+			t.Fatalf("per-event report has %d targets", len(r.TargetEvents))
+		}
+		if r.BestTemplate == nil {
+			t.Fatal("missing best template")
+		}
+		if names[r.BestTemplate.Name] {
+			t.Fatalf("duplicate harvested name %q", r.BestTemplate.Name)
+		}
+		names[r.BestTemplate.Name] = true
+		if len(r.Phases) != 4 {
+			t.Fatalf("phases = %d", len(r.Phases))
+		}
+		if err := r.BestTemplate.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shared sampling aggregate must literally be shared.
+	if reports[0].Phase("sampling").Counts != reports[1].Phase("sampling").Counts {
+		t.Fatal("sampling phase not shared")
+	}
+}
+
+func TestRunPerEventSharedSavesSimulations(t *testing.T) {
+	cfg := smallConfig(22)
+
+	shared := NewFlow(l3cache.New(), cfg)
+	sharedReports, err := shared.RunPerEventShared(l3cache.FamilyName, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedTotal := shared.Env().Simulations()
+
+	// Independent runs: one full RunFamily per target, each rebuilding
+	// sampling (corpus shared via SetRepository to isolate the sampling
+	// saving).
+	indep := NewFlow(l3cache.New(), cfg)
+	indep.SetRepository(shared.Repository()) // corpus for free
+	base := indep.Env().Simulations()
+	k := len(sharedReports)
+	for i := 0; i < k; i++ {
+		if _, err := indep.RunFamily(l3cache.FamilyName, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indepTotal := indep.Env().Simulations() - base
+
+	// Shared flow pays sampling once; independent pays it k times. The
+	// shared total includes the corpus, so compare sampling counts
+	// directly.
+	samplingCost := uint64(cfg.SampleTemplates * cfg.SampleSims)
+	if sharedTotal > uint64(cfg.CorpusSimsPerTemplate*6)+samplingCost+indepTotal {
+		t.Fatalf("shared flow did not save simulations: shared=%d indep=%d", sharedTotal, indepTotal)
+	}
+	t.Logf("shared=%d sims for %d targets; independent=%d sims (excl. corpus)", sharedTotal, k, indepTotal)
+}
+
+func TestRunPerEventSharedErrors(t *testing.T) {
+	flow := NewFlow(l3cache.New(), smallConfig(23))
+	if _, err := flow.RunPerEventShared("no_such_family", 0.4); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+}
+
+func TestRunPerEventSharedAccounting(t *testing.T) {
+	flow := NewFlow(l3cache.New(), smallConfig(24))
+	reports, err := flow.RunPerEventShared(l3cache.FamilyName, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, r := range reports {
+		if r.TotalSims == 0 {
+			t.Fatal("per-target accounting missing")
+		}
+		sum += r.TotalSims
+	}
+	// The per-target totals (own spend + shared share) must not exceed
+	// the environment's grand total.
+	if sum > flow.Env().Simulations() {
+		t.Fatalf("per-target sims sum %d exceeds environment total %d", sum, flow.Env().Simulations())
+	}
+}

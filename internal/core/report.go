@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coverage"
+)
+
+// FormatFamilyTable renders a report as the paper's Figs. 3/4 table: one
+// row per family event, one (hits, hit rate) column pair per phase.
+func (r *Report) FormatFamilyTable(m *coverage.Model, family string) (string, error) {
+	ids, ok := m.Family(family)
+	if !ok {
+		return "", fmt.Errorf("core: unknown family %q", family)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hit statistics for family %q on unit %q\n", family, r.Unit)
+	header := fmt.Sprintf("%-12s", "Event")
+	for _, p := range r.Phases {
+		header += fmt.Sprintf(" | %-24s", fmt.Sprintf("%s (%s)", p.Name, p.Description))
+	}
+	b.WriteString(header + "\n")
+	sub := fmt.Sprintf("%-12s", "")
+	for range r.Phases {
+		sub += fmt.Sprintf(" | %10s %13s", "#hits", "hit rate")
+	}
+	b.WriteString(sub + "\n")
+	b.WriteString(strings.Repeat("-", len(sub)) + "\n")
+	for _, id := range ids {
+		row := fmt.Sprintf("%-12s", m.Name(id))
+		for _, p := range r.Phases {
+			row += fmt.Sprintf(" | %10d %12.3f%%", p.Counts.Hits(id), p.Counts.HitRate(id)*100)
+		}
+		b.WriteString(row + "\n")
+	}
+	return b.String(), nil
+}
+
+// FormatStatusTable renders a report as the paper's Fig. 5 chart data:
+// the number of never/lightly/well-hit events among the given events at
+// every phase.
+func (r *Report) FormatStatusTable(m *coverage.Model, events []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Event status over %d events on unit %q\n", len(events), r.Unit)
+	fmt.Fprintf(&b, "%-32s | %8s | %8s | %8s\n", "Phase", "never", "lightly", "well")
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	for _, p := range r.Phases {
+		sc := p.Counts.StatusCounts(events)
+		fmt.Fprintf(&b, "%-32s | %8d | %8d | %8d\n",
+			fmt.Sprintf("%s (%s)", p.Name, p.Description),
+			sc[coverage.StatusNever], sc[coverage.StatusLightly], sc[coverage.StatusWell])
+	}
+	return b.String()
+}
+
+// FormatProgress renders the optimizer's per-iteration best target value
+// — the paper's Fig. 6 series — as an aligned two-column table with a
+// crude text sparkline.
+func (r *Report) FormatProgress() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Optimization progress on unit %q (max target value per iteration)\n", r.Unit)
+	if len(r.Progress) == 0 {
+		b.WriteString("(no iterations)\n")
+		return b.String()
+	}
+	maxVal := r.Progress[0].Best
+	for _, h := range r.Progress {
+		if h.Best > maxVal {
+			maxVal = h.Best
+		}
+	}
+	for _, h := range r.Progress {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(h.Best / maxVal * 40)
+		}
+		moved := " "
+		if h.Moved {
+			moved = "*"
+		}
+		fmt.Fprintf(&b, "iter %3d %s %10.4f |%s\n", h.Iter, moved, h.Best, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Summary renders a compact textual overview of the run.
+func (r *Report) Summary(m *coverage.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AS-CDG run on unit %q\n", r.Unit)
+	fmt.Fprintf(&b, "  approximated target: %d events; real targets: %d uncovered events\n",
+		r.Target.Len(), len(r.TargetEvents))
+	names := make([]string, 0, len(r.TargetEvents))
+	for _, id := range r.TargetEvents {
+		names = append(names, m.Name(id))
+	}
+	fmt.Fprintf(&b, "  targets: %s\n", strings.Join(names, ", "))
+	for _, ts := range r.ChosenTemplates {
+		fmt.Fprintf(&b, "  coarse search pick: %s (score %.4f over %d sims)\n", ts.Name, ts.Score, ts.Sims)
+	}
+	if r.Skeleton != nil {
+		fmt.Fprintf(&b, "  skeleton: %d modifiable settings\n", r.Skeleton.Dim())
+	}
+	fmt.Fprintf(&b, "  simulations spent: %d\n", r.TotalSims)
+	if best := r.Phase("best"); best != nil {
+		hit, total := 0, 0
+		for _, id := range r.TargetEvents {
+			total++
+			if best.Counts.Hits(id) > 0 {
+				hit++
+			}
+		}
+		fmt.Fprintf(&b, "  previously-uncovered targets hit by the best template: %d/%d\n", hit, total)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/neighbors"
+)
+
+// RunEvents targets an arbitrary set of events by name, without
+// requiring them to belong to a declared family or cross product. The
+// approximated target is mined from the coverage repository with the
+// correlation method (the FRIENDS substitute, paper Section IV-A): the
+// targets themselves at weight 1, plus every event whose per-template
+// hit profile resembles theirs, weighted by similarity.
+//
+// minSim in [0, 1] sets the similarity cutoff; 0.5 is a reasonable
+// default. At least one target must already have evidence in the
+// repository — for fully dark targets, structural neighbors (RunFamily,
+// RunCross) are the right tool, exactly as in the paper.
+func (f *Flow) RunEvents(eventNames []string, minSim float64) (*Report, error) {
+	if len(eventNames) == 0 {
+		return nil, fmt.Errorf("core: no target events given")
+	}
+	model := f.env.Unit().Model()
+	targets, err := model.IDs(eventNames)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	ws, err := neighbors.Correlated(f.repo, targets, minSim)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(neighbors.NewTarget(ws), targets)
+}

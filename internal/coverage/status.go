@@ -1,0 +1,53 @@
+package coverage
+
+// Status classifies an event's coverage level using the IBM convention
+// the paper's result tables follow (Section V):
+//
+//   - never hit  (red):    hit count == 0
+//   - lightly hit (orange): hit count < 100, or hit rate < 1%
+//   - well hit   (green):  everything else
+type Status int
+
+const (
+	// StatusNever marks an uncovered event (0 hits).
+	StatusNever Status = iota
+	// StatusLightly marks a lightly-hit event (<100 hits or <1% rate).
+	StatusLightly
+	// StatusWell marks a well-hit event.
+	StatusWell
+)
+
+// String returns the conventional label for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNever:
+		return "never"
+	case StatusLightly:
+		return "lightly"
+	case StatusWell:
+		return "well"
+	}
+	return "unknown"
+}
+
+// lightlyHitCount and lightlyHitRate are the IBM thresholds quoted in
+// the paper: fewer than 100 hits, or a hit rate below 1%, is lightly hit.
+const (
+	lightlyHitCount = 100
+	lightlyHitRate  = 0.01
+)
+
+// Classify returns the status of an event with the given hit count over
+// the given number of simulations.
+func Classify(hits, sims uint64) Status {
+	if hits == 0 {
+		return StatusNever
+	}
+	if hits < lightlyHitCount {
+		return StatusLightly
+	}
+	if sims > 0 && float64(hits)/float64(sims) < lightlyHitRate {
+		return StatusLightly
+	}
+	return StatusWell
+}

@@ -1,0 +1,75 @@
+package duv_test
+
+import (
+	"testing"
+
+	"repro/internal/duv"
+	_ "repro/internal/duv/ifu"
+	_ "repro/internal/duv/iounit"
+	_ "repro/internal/duv/l3cache"
+	_ "repro/internal/duv/noc"
+	"repro/internal/template"
+)
+
+func TestRegistryHasBuiltinUnits(t *testing.T) {
+	names := duv.Names()
+	want := []string{"ifu", "iounit", "l3cache", "noc"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNewConstructsEachUnit(t *testing.T) {
+	for _, name := range duv.Names() {
+		u, err := duv.New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if u.Name() != name {
+			t.Errorf("unit %q reports name %q", name, u.Name())
+		}
+		if u.Model().Size() == 0 {
+			t.Errorf("unit %q has empty model", name)
+		}
+		if len(u.Defaults()) == 0 {
+			t.Errorf("unit %q has no defaults", name)
+		}
+		if len(u.BaseTemplates()) == 0 {
+			t.Errorf("unit %q has no base suite", name)
+		}
+	}
+}
+
+func TestNewUnknownUnit(t *testing.T) {
+	if _, err := duv.New("nonexistent"); err == nil {
+		t.Fatal("unknown unit should fail")
+	}
+}
+
+func TestDefaultsFromTemplate(t *testing.T) {
+	tmpl, err := template.Parse("template d { range R [1:2]; weight W { a: 1; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := duv.DefaultsFromTemplate(tmpl)
+	if len(d) != 2 {
+		t.Fatalf("defaults = %v", d)
+	}
+	if _, ok := d["R"]; !ok {
+		t.Fatal("R missing")
+	}
+}
+
+func TestMustParseTemplatesPanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad source should panic")
+		}
+	}()
+	duv.MustParseTemplates("garbage")
+}

@@ -1,0 +1,196 @@
+package l3cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/generator"
+	"repro/internal/rng"
+	"repro/internal/template"
+)
+
+func runMany(u *L3Cache, tmpl *template.Template, n int, seed uint64) *coverage.Counts {
+	c := coverage.NewCountsFor(u.Model())
+	base := rng.New(seed)
+	for i := 0; i < n; i++ {
+		g := generator.New(tmpl, u.Defaults(), base.SplitIndex(uint64(i)).Uint64())
+		c.Add(u.Simulate(g))
+	}
+	return c
+}
+
+func findBase(t *testing.T, u *L3Cache, name string) *template.Template {
+	t.Helper()
+	for _, b := range u.BaseTemplates() {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("base template %q not found", name)
+	return nil
+}
+
+// optimalTemplate is a hand-built near-ideal bypass-stress template.
+func optimalTemplate(t *testing.T) *template.Template {
+	t.Helper()
+	tmpl, err := template.Parse(`
+template l3_optimal {
+    weight ReqType {
+        read:  80;
+        write: 0;
+        rwitm: 20;
+        flush: 0;
+        nop:   0;
+    }
+    weight BypassHint {
+        on:  100;
+        off: 0;
+    }
+    weight InterArrival {
+        [0:0]:  100;
+        [1:15]: 0;
+    }
+    range Locality [0 : 5];
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmpl
+}
+
+func TestModelShape(t *testing.T) {
+	u := New()
+	if u.Name() != UnitName {
+		t.Fatalf("Name = %q", u.Name())
+	}
+	fam, ok := u.Model().Family(FamilyName)
+	if !ok || len(fam) != 16 {
+		t.Fatalf("family = %v, %v", fam, ok)
+	}
+	if len(u.BaseTemplates()) < 5 {
+		t.Fatal("base suite too small")
+	}
+	for _, b := range u.BaseTemplates() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("base template %q invalid: %v", b.Name, err)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	u := New()
+	tmpl := findBase(t, u, "l3_bypass_probe")
+	for i := 0; i < 5; i++ {
+		g1 := generator.New(tmpl, u.Defaults(), uint64(i))
+		g2 := generator.New(tmpl, u.Defaults(), uint64(i))
+		if !u.Simulate(g1).Equal(u.Simulate(g2)) {
+			t.Fatalf("seed %d: simulation not deterministic", i)
+		}
+	}
+}
+
+func TestFamilyGradientIsMonotone(t *testing.T) {
+	u := New()
+	for _, tmpl := range []*template.Template{nil, findBase(t, u, "l3_bypass_probe"), optimalTemplate(t)} {
+		c := runMany(u, tmpl, 300, 21)
+		fam, _ := u.Model().Family(FamilyName)
+		for i := 1; i < len(fam); i++ {
+			if c.Hits(fam[i]) > c.Hits(fam[i-1]) {
+				t.Fatalf("gradient violated at %s", u.Model().Name(fam[i]))
+			}
+		}
+	}
+}
+
+func TestDefaultTrafficLeavesDeepLevelsUncovered(t *testing.T) {
+	u := New()
+	c := runMany(u, nil, 400, 3)
+	m := u.Model()
+	for _, ev := range []string{"byp_reqs08", "byp_reqs12", "byp_reqs16"} {
+		if c.Hits(m.MustLookup(ev)) != 0 {
+			t.Errorf("%s hit under default traffic (%d times)", ev, c.Hits(m.MustLookup(ev)))
+		}
+	}
+	if c.HitRate(m.MustLookup("byp_reqs01")) < 0.3 {
+		t.Errorf("byp_reqs01 rate %.3f too low under defaults", c.HitRate(m.MustLookup("byp_reqs01")))
+	}
+	// The cache itself must behave like a cache: hits and misses both occur.
+	for _, ev := range []string{"l3_hit_read", "l3_miss_read", "l3_evict_clean", "l3_evict_dirty"} {
+		if c.Hits(m.MustLookup(ev)) == 0 {
+			t.Errorf("%s never hit; cache model degenerate", ev)
+		}
+	}
+}
+
+func TestBypassProbeBeatsDefault(t *testing.T) {
+	u := New()
+	def := runMany(u, nil, 300, 4)
+	probe := runMany(u, findBase(t, u, "l3_bypass_probe"), 300, 5)
+	m := u.Model()
+	for _, ev := range []string{"byp_reqs02", "byp_reqs03"} {
+		id := m.MustLookup(ev)
+		if probe.HitRate(id) <= def.HitRate(id) {
+			t.Errorf("%s: probe %.3f <= default %.3f", ev, probe.HitRate(id), def.HitRate(id))
+		}
+	}
+}
+
+func TestOptimalReachesDeepLevels(t *testing.T) {
+	u := New()
+	c := runMany(u, optimalTemplate(t), 400, 6)
+	m := u.Model()
+	r10 := c.HitRate(m.MustLookup("byp_reqs10"))
+	r16 := c.HitRate(m.MustLookup("byp_reqs16"))
+	if r10 < 0.1 {
+		t.Errorf("byp_reqs10 rate = %.3f under optimal stimuli, want >= 0.1", r10)
+	}
+	if r16 > 0.3 {
+		t.Errorf("byp_reqs16 rate = %.3f: tail too easy", r16)
+	}
+	t.Logf("optimal: byp10=%.3f byp13=%.3f byp16=%.4f",
+		r10, c.HitRate(m.MustLookup("byp_reqs13")), r16)
+}
+
+func TestLocalityControlsMissRate(t *testing.T) {
+	u := New()
+	mk := func(lo, hi int) *template.Template {
+		tmpl := template.New(fmt.Sprintf("loc_%d_%d", lo, hi))
+		tmpl.SetParam(&template.RangeParam{Name: "Locality", Lo: lo, Hi: hi})
+		return tmpl
+	}
+	m := u.Model()
+	lowLoc := runMany(u, mk(0, 5), 200, 7)
+	highLoc := runMany(u, mk(90, 100), 200, 8)
+	missLow := lowLoc.HitRate(m.MustLookup("l3_miss_read"))
+	hitHigh := highLoc.HitRate(m.MustLookup("l3_hit_read"))
+	if missLow < 0.9 {
+		t.Errorf("low locality should miss nearly always per sim; miss event rate %.3f", missLow)
+	}
+	if hitHigh < 0.9 {
+		t.Errorf("high locality should hit within most sims; hit event rate %.3f", hitHigh)
+	}
+}
+
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short")
+	}
+	u := New()
+	m := u.Model()
+	fam, _ := m.Family(FamilyName)
+	report := func(name string, tmpl *template.Template, seed uint64) {
+		c := runMany(u, tmpl, 500, seed)
+		line := name + ":"
+		for _, id := range fam {
+			line += fmt.Sprintf(" %02d=%.1f%%", id+1, c.HitRate(id)*100)
+		}
+		t.Log(line)
+	}
+	report("defaults", nil, 1)
+	for i, b := range u.BaseTemplates() {
+		report(b.Name, b, uint64(100+i))
+	}
+	report("hand_optimal", optimalTemplate(t), 999)
+}

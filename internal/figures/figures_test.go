@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/duv/ifu"
+)
+
+// tinyOpts keeps figure tests fast; the optimization budgets are fixed
+// by the figure definitions, so these still take a few seconds each.
+func tinyOpts(seed uint64) Options {
+	return Options{Scale: 0.005, Seed: seed, Rounds: 1}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 0.1 || o.Seed != 1 || o.Rounds != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(1000, 0.1) != 100 {
+		t.Fatal("scaled(1000, 0.1) != 100")
+	}
+	if scaled(3, 0.001) != 1 {
+		t.Fatal("scaled should floor at 1")
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs skipped in -short")
+	}
+	res, err := Fig3(tinyOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fig3" || res.Sims == 0 || len(res.Reports) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, want := range []string{"crc_004", "crc_096", "before", "sampling", "optimization", "best"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("fig3 text missing %q", want)
+		}
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs skipped in -short")
+	}
+	res, err := Fig4(tinyOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"byp_reqs01", "byp_reqs16", "refinement rounds"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("fig4 text missing %q", want)
+		}
+	}
+	// The harvested template must beat the corpus on the mid ladder.
+	final := res.Reports[len(res.Reports)-1]
+	before := final.Phase("before").Counts
+	best := final.Phase("best").Counts
+	deeperBefore, deeperBest := 0, 0
+	for id := 0; id < 16; id++ {
+		if before.Hits(id) > 0 {
+			deeperBefore = id + 1
+		}
+		if best.Hits(id) > 0 {
+			deeperBest = id + 1
+		}
+	}
+	if deeperBest < deeperBefore {
+		t.Errorf("best covers to level %d, corpus to %d", deeperBest, deeperBefore)
+	}
+}
+
+func TestFig5Entry7StaysUncovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs skipped in -short")
+	}
+	res, err := Fig5(tinyOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "entry7 events still uncovered: 32/32") {
+		t.Fatalf("fig5 must report the 32 unhittable events:\n%s", res.Text)
+	}
+	unit := ifu.New()
+	ids, err := unit.Model().IDs(unit.Cross().EventNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase := StatusCountsByPhase(res.Reports[0], ids)
+	if byPhase["best"][coverage.StatusNever] < 32 {
+		t.Fatalf("best phase never-hit = %d, want >= 32", byPhase["best"][coverage.StatusNever])
+	}
+	// Sampling must have uncovered a substantial number of events
+	// relative to the corpus (the paper's Fig. 5 narrative).
+	if byPhase["sampling"][coverage.StatusNever] >= byPhase["before"][coverage.StatusNever] {
+		t.Errorf("sampling did not reduce never-hit: before=%d sampling=%d",
+			byPhase["before"][coverage.StatusNever], byPhase["sampling"][coverage.StatusNever])
+	}
+}
+
+func TestFig6Progress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs skipped in -short")
+	}
+	res, err := Fig6(tinyOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "iter") {
+		t.Fatalf("fig6 text missing iterations:\n%s", res.Text)
+	}
+	final := res.Reports[len(res.Reports)-1]
+	if len(final.Progress) != 25 {
+		t.Errorf("L3 optimization should run 25 iterations, got %d", len(final.Progress))
+	}
+}
+
+func TestCompositeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs skipped in -short")
+	}
+	res, err := Fig3(Options{Scale: 0.005, Seed: 2, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composite := compositeReport(res.Reports)
+	if len(composite.Phases) != 4 {
+		t.Fatalf("composite phases = %d", len(composite.Phases))
+	}
+	if composite.Phases[0].Name != "before" {
+		t.Fatal("composite must lead with the first round's corpus")
+	}
+	// The composite 'before' is the FIRST round's corpus, not the last's.
+	if len(res.Reports) > 1 {
+		first := res.Reports[0].Phase("before").Counts.Sims()
+		if composite.Phases[0].Counts.Sims() != first {
+			t.Fatal("composite before-phase is not round 1's")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package generator implements the biased-random stimuli generation
+// engine of the AS-CDG reproduction.
+//
+// In the verification environments the paper targets (Section III), a
+// test-template modifies the default settings of some parameters of the
+// stimuli generator; all other parameters keep their default behavior.
+// During generation, the engine is consulted every time a random decision
+// tied to a parameter must be made — a parameter may be consulted many
+// times per test-instance (e.g. an instruction mnemonic for every
+// generated instruction) or not at all (e.g. a cache delay only when the
+// cache is accessed).
+//
+// A test-instance is fully identified by (template, seed): re-running the
+// generator with the same pair reproduces the same decision stream, which
+// makes every simulation in this repository reproducible.
+package generator
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/template"
+)
+
+// Defaults is a DUV's default parameter behavior: the settings used for
+// any parameter the test-template does not override. Keys are parameter
+// names.
+type Defaults map[string]template.Param
+
+// Generator makes biased-random decisions for one test-instance.
+type Generator struct {
+	tmpl     *template.Template
+	defaults Defaults
+	r        *rng.RNG
+	seed     uint64
+}
+
+// New returns a generator for one test-instance of tmpl with the given
+// defaults and seed. tmpl may be nil, in which case every decision uses
+// the defaults.
+func New(tmpl *template.Template, defaults Defaults, seed uint64) *Generator {
+	return &Generator{tmpl: tmpl, defaults: defaults, r: rng.New(seed), seed: seed}
+}
+
+// Seed returns the test-instance seed.
+func (g *Generator) Seed() uint64 { return g.seed }
+
+// Template returns the test-template driving this instance (may be nil).
+func (g *Generator) Template() *template.Template { return g.tmpl }
+
+// resolve finds the effective setting for a parameter: the template's if
+// present, otherwise the default. The bool reports whether any setting
+// exists.
+func (g *Generator) resolve(name string) (template.Param, bool) {
+	if g.tmpl != nil {
+		if p, ok := g.tmpl.Param(name); ok {
+			return p, true
+		}
+	}
+	p, ok := g.defaults[name]
+	return p, ok
+}
+
+// PickValue makes a random decision for a symbolic weight parameter and
+// returns the chosen value. For weight parameters containing subrange
+// entries the chosen entry's label is returned. It panics if the
+// parameter is unknown or is a range parameter — DUV models consult
+// parameters they declared defaults for, so an unknown name is a
+// programming error, not an input error.
+func (g *Generator) PickValue(name string) string {
+	p, ok := g.resolve(name)
+	if !ok {
+		panic(fmt.Sprintf("generator: no setting or default for parameter %q", name))
+	}
+	wp, ok := p.(*template.WeightParam)
+	if !ok {
+		panic(fmt.Sprintf("generator: parameter %q is not a weight parameter", name))
+	}
+	e := g.pickEntry(wp)
+	return e.Label()
+}
+
+// PickInt makes a random decision for a numeric parameter and returns
+// the chosen value:
+//
+//   - for a range parameter, a uniform draw from [lo, hi];
+//   - for a weight parameter over subranges (the Skeletonizer's output
+//     form), a weighted draw of a subrange followed by a uniform draw
+//     inside it — this is exactly how the CDG-Runner shapes the
+//     distribution of an originally-uniform range parameter (paper
+//     Section IV-C).
+//
+// It panics if the parameter is unknown or is a symbolic weight
+// parameter.
+func (g *Generator) PickInt(name string) int {
+	p, ok := g.resolve(name)
+	if !ok {
+		panic(fmt.Sprintf("generator: no setting or default for parameter %q", name))
+	}
+	switch param := p.(type) {
+	case *template.RangeParam:
+		return g.r.IntRange(param.Lo, param.Hi)
+	case *template.WeightParam:
+		e := g.pickEntry(param)
+		if !e.IsRange {
+			panic(fmt.Sprintf("generator: parameter %q has symbolic entries; use PickValue", name))
+		}
+		return g.r.IntRange(e.Lo, e.Hi)
+	default:
+		panic(fmt.Sprintf("generator: parameter %q has unknown type %T", name, p))
+	}
+}
+
+// pickEntry draws one entry of a weight parameter according to the
+// weights. All-zero weights select uniformly, mirroring a generator that
+// falls back to uniform choice when the template disables every value.
+func (g *Generator) pickEntry(wp *template.WeightParam) template.WeightEntry {
+	if len(wp.Entries) == 1 {
+		return wp.Entries[0]
+	}
+	weights := make([]int, len(wp.Entries))
+	for i, e := range wp.Entries {
+		weights[i] = e.Weight
+	}
+	return wp.Entries[g.pickIndex(weights)]
+}
+
+func (g *Generator) pickIndex(weights []int) int {
+	return g.r.WeightedIndex(weights)
+}
+
+// Has reports whether the parameter has a setting (template or default).
+func (g *Generator) Has(name string) bool {
+	_, ok := g.resolve(name)
+	return ok
+}
+
+// RNG exposes the instance's random stream for auxiliary decisions a DUV
+// model needs that are not tied to a template parameter (e.g. internal
+// micro-architectural noise). Sharing the stream keeps the whole
+// test-instance reproducible from its seed.
+func (g *Generator) RNG() *rng.RNG { return g.r }

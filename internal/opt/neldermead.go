@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NelderMead maximizes f with the classic simplex method (reflection,
+// expansion, contraction, shrink), as an ablation baseline for implicit
+// filtering. The initial simplex puts one vertex at x0 and one at
+// x0 + InitialStep along each coordinate. Nelder-Mead has no built-in
+// defense against noisy objectives, which is exactly why the paper
+// prefers implicit filtering; the ablation bench quantifies the gap.
+func NelderMead(f Objective, x0 []float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	dim := len(x0)
+	if dim == 0 {
+		return Result{}, fmt.Errorf("opt: empty starting point")
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, dim+1)
+	start := append([]float64(nil), x0...)
+	clampTo(start, opts.Lo, opts.Hi)
+	simplex[0] = vertex{x: start, v: eval(start)}
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), start...)
+		x[i] += opts.InitialStep
+		clampTo(x, opts.Lo, opts.Hi)
+		simplex[i+1] = vertex{x: x, v: eval(x)}
+	}
+
+	var history []IterRecord
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+			break
+		}
+		// Sort descending: best first (we maximize).
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v > simplex[j].v })
+		best, worst := simplex[0], simplex[dim]
+
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, dim)
+		for _, vx := range simplex[:dim] {
+			for i := range centroid {
+				centroid[i] += vx.x[i] / float64(dim)
+			}
+		}
+
+		point := func(coef float64) []float64 {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = centroid[i] + coef*(centroid[i]-worst.x[i])
+			}
+			clampTo(x, opts.Lo, opts.Hi)
+			return x
+		}
+
+		reflected := point(alpha)
+		rv := eval(reflected)
+		switch {
+		case rv > best.v:
+			expanded := point(gamma)
+			if ev := eval(expanded); ev > rv {
+				simplex[dim] = vertex{x: expanded, v: ev}
+			} else {
+				simplex[dim] = vertex{x: reflected, v: rv}
+			}
+		case rv > simplex[dim-1].v:
+			simplex[dim] = vertex{x: reflected, v: rv}
+		default:
+			contracted := point(-rho)
+			if cv := eval(contracted); cv > worst.v {
+				simplex[dim] = vertex{x: contracted, v: cv}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+
+		top := simplex[0].v
+		for _, vx := range simplex[1:] {
+			if vx.v > top {
+				top = vx.v
+			}
+		}
+		history = append(history, IterRecord{Iter: iter, Best: top, Evals: evals})
+		if opts.TargetValue > 0 && top >= opts.TargetValue {
+			break
+		}
+	}
+
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v > simplex[j].v })
+	return Result{X: simplex[0].x, Value: simplex[0].v, Evals: evals, History: history}, nil
+}

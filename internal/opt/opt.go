@@ -1,0 +1,306 @@
+// Package opt implements the derivative-free optimization (DFO) methods
+// of the AS-CDG reproduction.
+//
+// The mapping from test-template settings to coverage is unknown,
+// probabilistic, and only observable through simulation, so the flow
+// cannot use gradient or Hessian methods (paper Section IV-E). The
+// primary algorithm is implicit filtering (Algorithm 1 in the paper,
+// refs [5], [6]) with the paper's two noise modifications: N samples per
+// point and per-iteration resampling of the center. Random search,
+// compass search, and Nelder-Mead are provided as ablation baselines.
+//
+// All methods MAXIMIZE the objective over the box [Lo, Hi]^d.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Objective is a (noisy) function to maximize. Each call may return a
+// different value for the same point; the optimizers budget calls, not
+// accuracy.
+type Objective func(x []float64) float64
+
+// Options configure an optimization run. Zero values select the
+// documented defaults.
+type Options struct {
+	// Directions is the number of random directions per implicit
+	// filtering iteration — the paper's n (default 10).
+	Directions int
+	// InitialStep is the initial stencil size h (default: a quarter of
+	// the box width).
+	InitialStep float64
+	// MinStep stops the run when the stencil shrinks below it (default:
+	// 1/64 of the box width).
+	MinStep float64
+	// MaxIterations bounds the number of iterations (default 50).
+	MaxIterations int
+	// MaxEvals bounds the number of objective calls (0 = unlimited).
+	// Used by the baselines to grant every method an equal budget.
+	MaxEvals int
+	// TargetValue stops the run once the best observed value reaches it
+	// (0 = disabled). The paper's stopping criteria combine iterations,
+	// stencil size and target hit probability; all three are supported.
+	TargetValue float64
+	// ResampleCenter re-evaluates the center every iteration instead of
+	// trusting the previous measurement — the paper's guard against
+	// extremely lucky noise (Section IV-E). Default true; set
+	// NoResampleCenter to disable in ablations.
+	NoResampleCenter bool
+	// Lo and Hi bound the search box in every coordinate (defaults 0
+	// and 100 — the skeleton weight box).
+	Lo, Hi float64
+	// RNG drives direction sampling. nil seeds a fresh generator with 0.
+	RNG *rng.RNG
+}
+
+func (o Options) withDefaults() Options {
+	if o.Directions <= 0 {
+		o.Directions = 10
+	}
+	if o.Hi == 0 && o.Lo == 0 {
+		o.Hi = 100
+	}
+	width := o.Hi - o.Lo
+	if o.InitialStep <= 0 {
+		o.InitialStep = width / 4
+	}
+	if o.MinStep <= 0 {
+		o.MinStep = width / 64
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+	if o.RNG == nil {
+		o.RNG = rng.New(0)
+	}
+	return o
+}
+
+// IterRecord captures one optimizer iteration for progress plots (the
+// paper's Fig. 6 series).
+type IterRecord struct {
+	Iter  int
+	Best  float64 // best objective value observed this iteration
+	Step  float64 // stencil size during the iteration
+	Moved bool    // whether the center moved
+	Evals int     // cumulative objective calls after the iteration
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	X       []float64
+	Value   float64
+	Evals   int
+	History []IterRecord
+}
+
+// clampTo limits x to [lo, hi] in place.
+func clampTo(x []float64, lo, hi float64) {
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}
+
+// randomDirection draws a uniform direction on the unit sphere.
+func randomDirection(r *rng.RNG, dim int) []float64 {
+	d := make([]float64, dim)
+	for {
+		for i := range d {
+			d[i] = r.NormFloat64()
+		}
+		n := 0.0
+		for _, v := range d {
+			n += v * v
+		}
+		if n == 0 {
+			continue
+		}
+		n = math.Sqrt(n)
+		for i := range d {
+			d[i] /= n
+		}
+		return d
+	}
+}
+
+// ImplicitFiltering maximizes f starting from x0 using the paper's
+// Algorithm 1. Each iteration samples f at the center (resampled unless
+// disabled) and at Directions random points at stencil distance h; the
+// center moves to the best point if it improves, otherwise h is halved.
+// The run stops on MaxIterations, MinStep, MaxEvals, or TargetValue.
+func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if len(x0) == 0 {
+		return Result{}, fmt.Errorf("opt: empty starting point")
+	}
+	dim := len(x0)
+	center := append([]float64(nil), x0...)
+	clampTo(center, opts.Lo, opts.Hi)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	h := opts.InitialStep
+	best := eval(center)
+	overallBest := best
+	overallX := append([]float64(nil), center...)
+	var history []IterRecord
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+			break
+		}
+		if !opts.NoResampleCenter {
+			best = eval(center)
+		}
+		iterBest := best
+		nextCenter := center
+		moved := false
+
+		for d := 0; d < opts.Directions; d++ {
+			if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+				break
+			}
+			dir := randomDirection(opts.RNG, dim)
+			cand := make([]float64, dim)
+			for i := range cand {
+				cand[i] = center[i] + dir[i]*h
+			}
+			clampTo(cand, opts.Lo, opts.Hi)
+			val := eval(cand)
+			if val > iterBest {
+				iterBest = val
+				nextCenter = cand
+				moved = true
+			}
+		}
+
+		if moved {
+			center = nextCenter
+			best = iterBest
+		} else {
+			h /= 2
+		}
+		if iterBest > overallBest {
+			overallBest = iterBest
+			overallX = append([]float64(nil), nextCenter...)
+		}
+		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: evals})
+
+		if opts.TargetValue > 0 && overallBest >= opts.TargetValue {
+			break
+		}
+		if h < opts.MinStep {
+			break
+		}
+	}
+	return Result{X: overallX, Value: overallBest, Evals: evals, History: history}, nil
+}
+
+// RandomSearch maximizes f by uniform sampling of the box — the
+// simplest budget-matched baseline. It runs until MaxEvals (or
+// Directions*MaxIterations when MaxEvals is 0).
+func RandomSearch(f Objective, dim int, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if dim <= 0 {
+		return Result{}, fmt.Errorf("opt: non-positive dimension %d", dim)
+	}
+	budget := opts.MaxEvals
+	if budget <= 0 {
+		budget = opts.Directions * opts.MaxIterations
+	}
+	var bestX []float64
+	best := math.Inf(-1)
+	var history []IterRecord
+	for i := 0; i < budget; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = opts.Lo + opts.RNG.Float64()*(opts.Hi-opts.Lo)
+		}
+		v := f(x)
+		if v > best {
+			best = v
+			bestX = x
+		}
+		history = append(history, IterRecord{Iter: i + 1, Best: best, Evals: i + 1})
+		if opts.TargetValue > 0 && best >= opts.TargetValue {
+			break
+		}
+	}
+	return Result{X: bestX, Value: best, Evals: len(history), History: history}, nil
+}
+
+// CompassSearch maximizes f with coordinate-aligned pattern search
+// (generalized pattern search with the 2d compass stencil): probe
+// +/- h along every coordinate, move to the best improvement, halve h
+// when none improves.
+func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if len(x0) == 0 {
+		return Result{}, fmt.Errorf("opt: empty starting point")
+	}
+	dim := len(x0)
+	center := append([]float64(nil), x0...)
+	clampTo(center, opts.Lo, opts.Hi)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+	h := opts.InitialStep
+	best := eval(center)
+	var history []IterRecord
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+			break
+		}
+		if !opts.NoResampleCenter {
+			best = eval(center)
+		}
+		iterBest := best
+		nextCenter := center
+		moved := false
+		for i := 0; i < dim; i++ {
+			for _, sign := range []float64{1, -1} {
+				if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+					break
+				}
+				cand := append([]float64(nil), center...)
+				cand[i] += sign * h
+				clampTo(cand, opts.Lo, opts.Hi)
+				if v := eval(cand); v > iterBest {
+					iterBest = v
+					nextCenter = cand
+					moved = true
+				}
+			}
+		}
+		if moved {
+			center = nextCenter
+			best = iterBest
+		} else {
+			h /= 2
+		}
+		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: evals})
+		if opts.TargetValue > 0 && best >= opts.TargetValue {
+			break
+		}
+		if h < opts.MinStep {
+			break
+		}
+	}
+	return Result{X: center, Value: best, Evals: evals, History: history}, nil
+}

@@ -1,0 +1,351 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// sphere is a smooth unimodal objective peaking at (70, 70, ..., 70)
+// with value 0; elsewhere negative.
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		d := v - 70
+		s -= d * d
+	}
+	return s
+}
+
+// noisy wraps an objective with additive noise of the given amplitude.
+func noisy(f Objective, amplitude float64, seed uint64) Objective {
+	r := rng.New(seed)
+	return func(x []float64) float64 {
+		return f(x) + (r.Float64()*2-1)*amplitude
+	}
+}
+
+func TestImplicitFilteringConvergesNoiseless(t *testing.T) {
+	x0 := []float64{10, 10, 10}
+	res, err := ImplicitFiltering(sphere, x0, Options{
+		Directions:    15,
+		MaxIterations: 120,
+		MinStep:       0.01,
+		RNG:           rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-70) > 5 {
+			t.Fatalf("x[%d] = %v, want ~70 (value %v)", i, v, res.Value)
+		}
+	}
+	if res.Value < -30 {
+		t.Fatalf("final value = %v", res.Value)
+	}
+}
+
+func TestImplicitFilteringImprovesUnderNoise(t *testing.T) {
+	x0 := []float64{5, 5, 5, 5}
+	start := sphere(x0)
+	res, err := ImplicitFiltering(noisy(sphere, 200, 7), x0, Options{
+		Directions:    20,
+		MaxIterations: 80,
+		RNG:           rng.New(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sphere(res.X); got < start+4000 {
+		t.Fatalf("true value at result = %v, start = %v: no progress under noise", got, start)
+	}
+}
+
+func TestImplicitFilteringNeverWorseThanStartNoiseless(t *testing.T) {
+	// Property: with a deterministic objective, the returned value is at
+	// least the starting value (the algorithm only moves on improvement).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(6)
+		x0 := make([]float64, dim)
+		for i := range x0 {
+			x0[i] = r.Float64() * 100
+		}
+		res, err := ImplicitFiltering(sphere, x0, Options{
+			Directions:    6,
+			MaxIterations: 20,
+			RNG:           rng.New(seed + 1),
+		})
+		if err != nil {
+			return false
+		}
+		return res.Value >= sphere(x0)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplicitFilteringRespectsBox(t *testing.T) {
+	// Objective rewards leaving the box; the optimizer must clamp.
+	runaway := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	res, err := ImplicitFiltering(runaway, []float64{50, 50}, Options{
+		Directions:    10,
+		MaxIterations: 60,
+		Lo:            0,
+		Hi:            100,
+		RNG:           rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.X {
+		if v < 0 || v > 100 {
+			t.Fatalf("result left the box: %v", res.X)
+		}
+	}
+	if res.Value < 180 {
+		t.Fatalf("should reach near the corner; value = %v", res.Value)
+	}
+}
+
+func TestImplicitFilteringStencilHalvesWhenStuck(t *testing.T) {
+	flat := func(x []float64) float64 { return 0 }
+	res, err := ImplicitFiltering(flat, []float64{50}, Options{
+		Directions:    4,
+		MaxIterations: 100,
+		InitialStep:   32,
+		MinStep:       1,
+		RNG:           rng.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 -> 16 -> 8 -> 4 -> 2 -> 1 -> 0.5 < 1: six iterations.
+	if len(res.History) != 6 {
+		t.Fatalf("iterations = %d, want 6 (history %+v)", len(res.History), res.History)
+	}
+	for _, h := range res.History {
+		if h.Moved {
+			t.Fatal("flat objective must never move the center")
+		}
+	}
+}
+
+func TestImplicitFilteringTargetValueStops(t *testing.T) {
+	res, err := ImplicitFiltering(func(x []float64) float64 { return 42 }, []float64{1}, Options{
+		Directions:    4,
+		MaxIterations: 100,
+		TargetValue:   40,
+		RNG:           rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 1 {
+		t.Fatalf("should stop after first iteration, ran %d", len(res.History))
+	}
+}
+
+func TestImplicitFilteringMaxEvals(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return 0 }
+	_, err := ImplicitFiltering(f, []float64{1, 2}, Options{
+		Directions:    10,
+		MaxIterations: 1000,
+		MaxEvals:      37,
+		MinStep:       1e-9,
+		RNG:           rng.New(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 38 { // one overshoot allowed at iteration boundary
+		t.Fatalf("calls = %d, budget 37", calls)
+	}
+}
+
+func TestImplicitFilteringEmptyStart(t *testing.T) {
+	if _, err := ImplicitFiltering(sphere, nil, Options{}); err == nil {
+		t.Fatal("empty start should fail")
+	}
+}
+
+func TestImplicitFilteringHistoryMonotoneEvals(t *testing.T) {
+	res, _ := ImplicitFiltering(noisy(sphere, 50, 1), []float64{20, 20}, Options{
+		Directions:    8,
+		MaxIterations: 30,
+		RNG:           rng.New(7),
+	})
+	prev := 0
+	for _, h := range res.History {
+		if h.Evals <= prev {
+			t.Fatalf("evals not increasing: %+v", res.History)
+		}
+		prev = h.Evals
+	}
+}
+
+func TestRandomSearchFindsDecentPoint(t *testing.T) {
+	res, err := RandomSearch(sphere, 2, Options{MaxEvals: 400, RNG: rng.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 400 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+	if res.Value < -2000 {
+		t.Fatalf("random search value = %v, too poor for 400 samples", res.Value)
+	}
+	for _, v := range res.X {
+		if v < 0 || v > 100 {
+			t.Fatalf("sample outside box: %v", res.X)
+		}
+	}
+}
+
+func TestRandomSearchErrors(t *testing.T) {
+	if _, err := RandomSearch(sphere, 0, Options{}); err == nil {
+		t.Fatal("dim 0 should fail")
+	}
+}
+
+func TestRandomSearchTargetStops(t *testing.T) {
+	res, err := RandomSearch(func(x []float64) float64 { return 1 }, 2, Options{
+		MaxEvals: 100, TargetValue: 0.5, RNG: rng.New(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 1 {
+		t.Fatalf("evals = %d, want 1", res.Evals)
+	}
+}
+
+func TestCompassSearchConverges(t *testing.T) {
+	res, err := CompassSearch(sphere, []float64{10, 90}, Options{
+		MaxIterations: 100,
+		MinStep:       0.01,
+		RNG:           rng.New(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-70) > 2 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestCompassSearchEmptyStart(t *testing.T) {
+	if _, err := CompassSearch(sphere, nil, Options{}); err == nil {
+		t.Fatal("empty start should fail")
+	}
+}
+
+func TestNelderMeadConverges(t *testing.T) {
+	res, err := NelderMead(sphere, []float64{20, 20}, Options{
+		MaxIterations: 200,
+		InitialStep:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-70) > 3 {
+			t.Fatalf("x[%d] = %v (value %v)", i, v, res.Value)
+		}
+	}
+}
+
+func TestNelderMeadRespectsBox(t *testing.T) {
+	runaway := func(x []float64) float64 { return x[0] + x[1] }
+	res, err := NelderMead(runaway, []float64{90, 90}, Options{
+		MaxIterations: 100,
+		InitialStep:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.X {
+		if v < 0 || v > 100 {
+			t.Fatalf("left the box: %v", res.X)
+		}
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, err := NelderMead(sphere, nil, Options{}); err == nil {
+		t.Fatal("empty start should fail")
+	}
+}
+
+func TestImplicitFilteringBeatsNelderMeadUnderHeavyNoise(t *testing.T) {
+	// The design rationale for implicit filtering (paper Section IV-E):
+	// under heavy dynamic noise it keeps making progress where the
+	// simplex method gets dragged around by lucky samples. Compare true
+	// objective values at the returned points under an equal budget.
+	var ifSum, nmSum float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(100 + trial)
+		x0 := []float64{10, 10, 10}
+		budget := 600
+		fi := noisy(sphere, 400, seed)
+		resIF, err := ImplicitFiltering(fi, x0, Options{
+			Directions: 15, MaxIterations: 1000, MaxEvals: budget,
+			MinStep: 1e-9, RNG: rng.New(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := noisy(sphere, 400, seed+1)
+		resNM, err := NelderMead(fn, x0, Options{
+			MaxIterations: 1000, MaxEvals: budget, InitialStep: 25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ifSum += sphere(resIF.X)
+		nmSum += sphere(resNM.X)
+	}
+	if ifSum <= nmSum-1 {
+		t.Fatalf("implicit filtering (%v) should not lose clearly to Nelder-Mead (%v) under heavy noise",
+			ifSum/trials, nmSum/trials)
+	}
+	t.Logf("avg true value: implicit filtering %.1f, nelder-mead %.1f", ifSum/trials, nmSum/trials)
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Directions != 10 || o.Hi != 100 || o.InitialStep != 25 || o.MaxIterations != 50 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.RNG == nil {
+		t.Fatal("default RNG missing")
+	}
+}
+
+func TestRandomDirectionUnitNorm(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 100; i++ {
+		d := randomDirection(r, 5)
+		n := 0.0
+		for _, v := range d {
+			n += v * v
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+			t.Fatalf("direction norm = %v", math.Sqrt(n))
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// SweepPoint is one hyperparameter setting of implicit filtering (paper
+// Section IV-E: the directions n, the stencil h, and the samples per
+// point N all affect convergence).
+type SweepPoint struct {
+	Directions      int
+	InitialStep     float64
+	SamplesPerPoint int
+}
+
+// SweepResult is the outcome of one sweep point.
+type SweepResult struct {
+	Point SweepPoint
+	// Value is the ground-truth evaluation of the returned optimum.
+	Value float64
+	// Evals is the number of objective calls consumed.
+	Evals int
+	// Sims is Evals x SamplesPerPoint — the comparable cost metric.
+	Sims int
+}
+
+// Sweep tunes implicit filtering over a hyperparameter grid under an
+// equal simulation budget. For every grid point it runs the optimizer
+// with MaxEvals = budget/SamplesPerPoint (so each point spends the same
+// number of simulations), then scores the returned optimum with
+// trueEval — a high-budget, low-noise evaluation the caller provides.
+// Results are returned best-first.
+//
+// mkObjective builds the noisy objective for a given N; each sweep point
+// gets a fresh objective so noise streams are independent.
+func Sweep(
+	mkObjective func(samplesPerPoint int) Objective,
+	trueEval func(x []float64) float64,
+	x0 []float64,
+	grid []SweepPoint,
+	budget int,
+	r *rng.RNG,
+) ([]SweepResult, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("opt: empty sweep grid")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("opt: non-positive sweep budget %d", budget)
+	}
+	if r == nil {
+		r = rng.New(0)
+	}
+	results := make([]SweepResult, 0, len(grid))
+	for i, p := range grid {
+		if p.SamplesPerPoint <= 0 {
+			return nil, fmt.Errorf("opt: sweep point %d has non-positive N", i)
+		}
+		maxEvals := budget / p.SamplesPerPoint
+		if maxEvals < 1 {
+			maxEvals = 1
+		}
+		res, err := ImplicitFiltering(mkObjective(p.SamplesPerPoint), x0, Options{
+			Directions:    p.Directions,
+			InitialStep:   p.InitialStep,
+			MaxIterations: 1 << 30, // budget-bound, not iteration-bound
+			MaxEvals:      maxEvals,
+			MinStep:       1e-9,
+			RNG:           r.SplitIndex(uint64(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, SweepResult{
+			Point: p,
+			Value: trueEval(res.X),
+			Evals: res.Evals,
+			Sims:  res.Evals * p.SamplesPerPoint,
+		})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Value > results[j].Value })
+	return results, nil
+}
+
+// DefaultGrid returns a reasonable starting grid around the paper's
+// operating points (n between 10 and 20, h a quarter of the box, N
+// between 50 and 200).
+func DefaultGrid(boxWidth float64) []SweepPoint {
+	var grid []SweepPoint
+	for _, n := range []int{10, 15, 19} {
+		for _, h := range []float64{boxWidth / 8, boxWidth / 4} {
+			for _, samples := range []int{50, 100, 200} {
+				grid = append(grid, SweepPoint{Directions: n, InitialStep: h, SamplesPerPoint: samples})
+			}
+		}
+	}
+	return grid
+}

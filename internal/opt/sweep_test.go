@@ -1,0 +1,89 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSweepRanksByTrueValue(t *testing.T) {
+	// Noisy sphere: N samples per point average the noise down.
+	mk := func(n int) Objective {
+		r := rng.New(uint64(n))
+		return func(x []float64) float64 {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += sphere(x) + (r.Float64()*2-1)*300
+			}
+			return sum / float64(n)
+		}
+	}
+	grid := []SweepPoint{
+		{Directions: 10, InitialStep: 25, SamplesPerPoint: 5},
+		{Directions: 10, InitialStep: 25, SamplesPerPoint: 50},
+	}
+	results, err := Sweep(mk, sphere, []float64{10, 10}, grid, 5000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Sorted best-first.
+	if results[0].Value < results[1].Value {
+		t.Fatalf("not sorted: %v", results)
+	}
+	// Budget respected: sims per point within the budget (one eval
+	// overshoot allowed at an iteration boundary).
+	for _, r := range results {
+		if r.Sims > 5000+50*r.Point.Directions {
+			t.Fatalf("point %+v overspent: %d sims", r.Point, r.Sims)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	mk := func(n int) Objective { return sphere }
+	if _, err := Sweep(mk, sphere, []float64{1}, nil, 100, nil); err == nil {
+		t.Error("empty grid should fail")
+	}
+	if _, err := Sweep(mk, sphere, []float64{1},
+		[]SweepPoint{{Directions: 5, InitialStep: 10, SamplesPerPoint: 10}}, 0, nil); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := Sweep(mk, sphere, []float64{1},
+		[]SweepPoint{{Directions: 5, InitialStep: 10, SamplesPerPoint: 0}}, 100, nil); err == nil {
+		t.Error("zero N should fail")
+	}
+}
+
+func TestSweepDeterministicPerSeed(t *testing.T) {
+	mk := func(n int) Objective {
+		r := rng.New(uint64(n) * 7)
+		return func(x []float64) float64 { return sphere(x) + r.Float64()*10 }
+	}
+	grid := []SweepPoint{{Directions: 8, InitialStep: 20, SamplesPerPoint: 10}}
+	a, err := Sweep(mk, sphere, []float64{5, 5}, grid, 1000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(mk, sphere, []float64{5, 5}, grid, 1000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Value != b[0].Value || a[0].Evals != b[0].Evals {
+		t.Fatal("sweep not deterministic for a fixed seed")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	grid := DefaultGrid(100)
+	if len(grid) != 18 {
+		t.Fatalf("grid size = %d, want 18", len(grid))
+	}
+	for _, p := range grid {
+		if p.Directions <= 0 || p.InitialStep <= 0 || p.SamplesPerPoint <= 0 {
+			t.Fatalf("degenerate grid point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sim implements the batch simulation environment of the AS-CDG
+// reproduction: the stand-in for the proprietary simulation farm the
+// CDG-Runner submits jobs to (paper Section I, Fig. 2).
+//
+// The environment takes (test-template, N) jobs, fans the N
+// test-instances out over a worker pool, and returns the aggregated
+// coverage counts. Seeding is deterministic: every batch gets a fresh
+// seed stream derived from the environment's base seed and a batch
+// counter, so an entire AS-CDG run is reproducible from one seed while
+// repeated submissions of the same template still see fresh sampling
+// noise — the "dynamic noise" the optimizer must absorb (Section IV-E).
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/coverage"
+	"repro/internal/duv"
+	"repro/internal/generator"
+	"repro/internal/rng"
+	"repro/internal/template"
+)
+
+// Env is a batch simulation environment bound to one DUV.
+type Env struct {
+	unit    duv.DUV
+	workers int
+	seed    *rng.RNG
+	batch   atomic.Uint64
+	sims    atomic.Uint64
+}
+
+// NewEnv creates an environment for the unit with the given base seed.
+// workers <= 0 selects GOMAXPROCS.
+func NewEnv(unit duv.DUV, seed uint64, workers int) *Env {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Env{unit: unit, workers: workers, seed: rng.New(seed)}
+}
+
+// Unit returns the DUV the environment simulates.
+func (e *Env) Unit() duv.DUV { return e.unit }
+
+// Simulations returns the total number of simulations run so far — the
+// cost metric every phase of the paper's evaluation reports.
+func (e *Env) Simulations() uint64 { return e.sims.Load() }
+
+// Run simulates n test-instances of tmpl (nil = pure default behavior)
+// and returns the aggregated counts.
+func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
+	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
+	model := e.unit.Model()
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := coverage.NewCountsFor(model)
+		for i := 0; i < n; i++ {
+			g := generator.New(tmpl, e.unit.Defaults(), batchSeed.SplitIndex(uint64(i)).Uint64())
+			c.Add(e.unit.Simulate(g))
+		}
+		e.sims.Add(uint64(n))
+		return c
+	}
+
+	parts := make([]*coverage.Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := coverage.NewCountsFor(model)
+			for i := w; i < n; i += workers {
+				g := generator.New(tmpl, e.unit.Defaults(), batchSeed.SplitIndex(uint64(i)).Uint64())
+				c.Add(e.unit.Simulate(g))
+			}
+			parts[w] = c
+		}(w)
+	}
+	wg.Wait()
+	total := coverage.NewCountsFor(model)
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	e.sims.Add(uint64(n))
+	return total
+}
+
+// RunEach simulates n instances of every template and returns one
+// aggregate per template, in order.
+func (e *Env) RunEach(templates []*template.Template, n int) []*coverage.Counts {
+	out := make([]*coverage.Counts, len(templates))
+	for i, t := range templates {
+		out[i] = e.Run(t, n)
+	}
+	return out
+}
+
+// RunInto simulates n instances of tmpl and records the aggregate in the
+// repository under the template's name, returning the aggregate.
+func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int) *coverage.Counts {
+	c := e.Run(tmpl, n)
+	repo.RecordCounts(tmpl.Name, c)
+	return c
+}
+
+// BuildCorpus simulates the unit's entire base regression suite,
+// simsPerTemplate instances each, into a fresh repository. This stands
+// in for the "several weeks of mainstream unit simulation" that precede
+// AS-CDG in the paper's result tables ("Before CDG" columns).
+func (e *Env) BuildCorpus(simsPerTemplate int) *coverage.Repository {
+	repo := coverage.NewRepository(e.unit.Model())
+	for _, tmpl := range e.unit.BaseTemplates() {
+		e.RunInto(repo, tmpl, simsPerTemplate)
+	}
+	return repo
+}

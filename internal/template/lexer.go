@@ -1,0 +1,188 @@
+package template
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates the lexical token types of the template language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokColon    // :
+	tokSemi     // ;
+	tokMark     // <?> placeholder (skeleton files only)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokMark:
+		return "'<?>'"
+	}
+	return "unknown token"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer produces tokens from template source text. Comments run from
+// "//" or "#" to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// errorf formats a positioned lexical error.
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipSpaceAndComments consumes whitespace and line comments.
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == -1:
+		return token{kind: tokEOF, line: line, col: col}, nil
+	case r == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case r == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case r == '[':
+		l.advance()
+		return token{kind: tokLBracket, text: "[", line: line, col: col}, nil
+	case r == ']':
+		l.advance()
+		return token{kind: tokRBracket, text: "]", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		return token{kind: tokColon, text: ":", line: line, col: col}, nil
+	case r == ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case r == '<':
+		// Skeleton mark "<?>".
+		l.advance()
+		if l.peek() != '?' {
+			return token{}, l.errorf(line, col, "unexpected character %q after '<' (expected '?')", l.peek())
+		}
+		l.advance()
+		if l.peek() != '>' {
+			return token{}, l.errorf(line, col, "unterminated mark: expected '>'")
+		}
+		l.advance()
+		return token{kind: tokMark, text: "<?>", line: line, col: col}, nil
+	case r == '-' || unicode.IsDigit(r):
+		start := l.pos
+		l.advance()
+		if r == '-' && !unicode.IsDigit(l.peek()) {
+			return token{}, l.errorf(line, col, "'-' must be followed by a digit")
+		}
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case isIdentStart(r):
+		start := l.pos
+		for isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}

@@ -1,0 +1,67 @@
+package template
+
+import "fmt"
+
+// Validate checks structural invariants of a template that may have been
+// constructed programmatically (the parser enforces the same rules for
+// parsed templates):
+//
+//   - the template and every parameter have non-empty names,
+//   - parameter names are unique,
+//   - every weight parameter has at least one entry,
+//   - entry labels within a weight parameter are unique,
+//   - weights are non-negative,
+//   - subrange and range bounds satisfy lo <= hi.
+//
+// A weight parameter whose weights are all zero is legal: the stimuli
+// generator treats it as a uniform distribution, mirroring the paper's
+// note that zero weights flag values that should normally not be used.
+func (t *Template) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("template has no name")
+	}
+	seen := map[string]bool{}
+	for _, p := range t.Params {
+		name := p.ParamName()
+		if name == "" {
+			return fmt.Errorf("template %q: parameter with empty name", t.Name)
+		}
+		if seen[name] {
+			return fmt.Errorf("template %q: duplicate parameter %q", t.Name, name)
+		}
+		seen[name] = true
+		switch param := p.(type) {
+		case *WeightParam:
+			if len(param.Entries) == 0 {
+				return fmt.Errorf("template %q: weight %q has no entries", t.Name, name)
+			}
+			labels := map[string]bool{}
+			for _, e := range param.Entries {
+				label := e.Label()
+				if !e.IsRange && e.Value == "" {
+					return fmt.Errorf("template %q: weight %q has an entry with no value", t.Name, name)
+				}
+				if labels[label] {
+					return fmt.Errorf("template %q: weight %q: duplicate entry %q", t.Name, name, label)
+				}
+				labels[label] = true
+				if e.Weight < 0 {
+					return fmt.Errorf("template %q: weight %q entry %q: negative weight %d",
+						t.Name, name, label, e.Weight)
+				}
+				if e.IsRange && e.Hi < e.Lo {
+					return fmt.Errorf("template %q: weight %q subrange [%d:%d] has hi < lo",
+						t.Name, name, e.Lo, e.Hi)
+				}
+			}
+		case *RangeParam:
+			if param.Hi < param.Lo {
+				return fmt.Errorf("template %q: range %q [%d:%d] has hi < lo",
+					t.Name, name, param.Lo, param.Hi)
+			}
+		default:
+			return fmt.Errorf("template %q: parameter %q has unknown type %T", t.Name, name, p)
+		}
+	}
+	return nil
+}
