@@ -535,17 +535,82 @@ func BenchmarkTACBestTemplates(b *testing.B) {
 	}
 }
 
+// BenchmarkGeneratorDecisions compares the interpreted per-decision
+// parameter resolution against the compiled-plan fast path (one Compile
+// per batch, shared by every instance). 200 decisions per op.
 func BenchmarkGeneratorDecisions(b *testing.B) {
 	unit := iounit.New()
 	tmpl := unit.BaseTemplates()[4]
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g := generator.New(tmpl, unit.Defaults(), uint64(i))
+	decisions := func(b *testing.B, g *generator.Generator) {
+		b.Helper()
 		for j := 0; j < 100; j++ {
 			_ = g.PickValue("Command")
 			_ = g.PickInt("Gap")
 		}
 	}
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decisions(b, generator.New(tmpl, unit.Defaults(), uint64(i)))
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		plan := generator.Compile(tmpl, unit.Defaults())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			decisions(b, generator.NewFromPlan(plan, uint64(i)))
+		}
+	})
+}
+
+// BenchmarkSchedulerThroughput pushes (template, N) batch jobs through
+// the sequential reference path and the persistent worker-pool
+// scheduler. ns/sim is the comparable figure; the scheduler variants
+// scale with GOMAXPROCS while the sequential path stays single-core.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	unit := iounit.New()
+	tmpl := unit.BaseTemplates()[0]
+	const batch = 256
+	report := func(b *testing.B) {
+		b.Helper()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sim")
+	}
+	b.Run("sequential", func(b *testing.B) {
+		env := sim.NewEnv(unit, 1, 1)
+		defer env.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = env.Run(tmpl, batch)
+		}
+		report(b)
+	})
+	b.Run("scheduler", func(b *testing.B) {
+		env := sim.NewEnv(unit, 1, 0) // GOMAXPROCS workers
+		defer env.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = env.Submit(tmpl, batch).Wait()
+		}
+		report(b)
+	})
+	b.Run("scheduler_4jobs", func(b *testing.B) {
+		// Four concurrent jobs in flight, as the batch objective submits
+		// them during one optimizer iteration.
+		env := sim.NewEnv(unit, 1, 0)
+		defer env.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			jobs := make([]*sim.Job, 4)
+			for j := range jobs {
+				jobs[j] = env.Submit(tmpl, batch/4)
+			}
+			for _, j := range jobs {
+				_ = j.Wait()
+			}
+		}
+		report(b)
+	})
 }
 
 func BenchmarkSimulateNoC(b *testing.B) {

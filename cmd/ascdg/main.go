@@ -26,6 +26,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -51,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the harvested test-template to this file")
 	loadRepo := fs.String("load-repo", "", "load the Before-CDG corpus from this JSON file instead of simulating")
 	saveRepo := fs.String("save-repo", "", "save the (possibly updated) coverage repository to this JSON file")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +71,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ascdg: %v\n", err)
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	cfg := core.Config{
 		Seed:                  *seed,
@@ -77,8 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		OptDirections:         *directions,
 		OptSims:               *optSims,
 		BestSims:              *bestSims,
+		Workers:               *workers,
 	}
 	flow := core.NewFlow(unit, cfg)
+	defer flow.Close()
 	if *loadRepo != "" {
 		repo, err := coverage.LoadFile(*loadRepo, unit.Model())
 		if err != nil {

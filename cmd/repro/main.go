@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/figures"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -26,12 +27,20 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for the whole run")
 	rounds := flag.Int("rounds", 5, "max refinement rounds for family experiments")
 	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds}
 
 	var results []*figures.Result
-	var err error
 	switch *fig {
 	case "3":
 		var r *figures.Result

@@ -184,6 +184,10 @@ func NewFlow(unit duv.DUV, cfg Config) *Flow {
 // Env exposes the flow's batch environment (for accounting).
 func (f *Flow) Env() *sim.Env { return f.env }
 
+// Close releases the environment's worker pool. The flow must not be
+// run afterwards.
+func (f *Flow) Close() { f.env.Close() }
+
 // SetRepository installs a pre-built "Before CDG" corpus, so multiple
 // runs against the same unit share the expensive regression phase.
 func (f *Flow) SetRepository(repo *coverage.Repository) { f.repo = repo }
@@ -376,20 +380,13 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		Counts:      samplePhase,
 	})
 
-	// Optimization phase (paper Section IV-E, Algorithm 1).
+	// Optimization phase (paper Section IV-E, Algorithm 1). The n
+	// stencil probes of an iteration are independent, so they are
+	// submitted as concurrent jobs on the environment's scheduler; batch
+	// seeds are assigned in point order, keeping the run bit-identical
+	// to sequential evaluation.
 	optPhase := coverage.NewCountsFor(model)
-	objective := func(x []float64) float64 {
-		tmpl, err := skel.Instantiate("cand", x)
-		if err != nil {
-			// Instantiate only fails on dimension mismatch, which would
-			// be a programming error here.
-			panic(err)
-		}
-		counts := f.env.Run(tmpl, f.cfg.OptSims)
-		optPhase.Merge(counts)
-		return target.Score(counts)
-	}
-	res, err := opt.ImplicitFiltering(objective, bestX, opt.Options{
+	res, err := opt.ImplicitFiltering(nil, bestX, opt.Options{
 		Directions:       f.cfg.OptDirections,
 		InitialStep:      f.cfg.InitialStep,
 		MinStep:          f.cfg.MinStep,
@@ -399,6 +396,7 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		Lo:               0,
 		Hi:               float64(skel.MaxWeight()),
 		RNG:              r.SplitString("optimize"),
+		Batch:            f.batchObjective(skel, target, optPhase),
 	})
 	if err != nil {
 		return nil, err
@@ -436,6 +434,33 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	return report, nil
 }
 
+// batchObjective builds the optimizer's objective: every point becomes a
+// (template, OptSims) job on the environment's scheduler. Points are
+// submitted in order — so batch seeds, and therefore results, match a
+// sequential evaluation exactly — and waited on in order, keeping the
+// phase aggregate's merge order deterministic too.
+func (f *Flow) batchObjective(skel *skeleton.Skeleton, target *neighbors.Target, phase *coverage.Counts) opt.BatchObjective {
+	return func(points [][]float64) []float64 {
+		jobs := make([]*sim.Job, len(points))
+		for i, x := range points {
+			tmpl, err := skel.Instantiate("cand", x)
+			if err != nil {
+				// Instantiate only fails on dimension mismatch, which
+				// would be a programming error here.
+				panic(err)
+			}
+			jobs[i] = f.env.Submit(tmpl, f.cfg.OptSims)
+		}
+		vals := make([]float64, len(points))
+		for i, job := range jobs {
+			counts := job.Wait()
+			phase.Merge(counts)
+			vals[i] = target.Score(counts)
+		}
+		return vals
+	}
+}
+
 // sample is one evaluated point of the random-sample phase.
 type sample struct {
 	x      []float64
@@ -443,13 +468,16 @@ type sample struct {
 }
 
 // samplePhase runs the random-sample phase: SampleTemplates uniform
-// points in the skeleton's weight box, SampleSims sims each. It returns
-// the individual samples (so several targets can each pick their own
-// best starting point from the same simulations) and the phase
-// aggregate.
+// points in the skeleton's weight box, SampleSims sims each. All points
+// are submitted up front and simulated concurrently on the scheduler
+// (the coarse-phase sweep); submission order fixes the batch seeds, so
+// the result is identical to running them one at a time. It returns the
+// individual samples (so several targets can each pick their own best
+// starting point from the same simulations) and the phase aggregate.
 func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *coverage.Counts, error) {
 	model := f.env.Unit().Model()
 	aggregate := coverage.NewCountsFor(model)
+	jobs := make([]*sim.Job, 0, f.cfg.SampleTemplates)
 	samples := make([]sample, 0, f.cfg.SampleTemplates)
 	for i := 0; i < f.cfg.SampleTemplates; i++ {
 		x := skel.RandomWeights(r)
@@ -457,9 +485,13 @@ func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *cove
 		if err != nil {
 			return nil, nil, err
 		}
-		counts := f.env.Run(tmpl, f.cfg.SampleSims)
+		jobs = append(jobs, f.env.Submit(tmpl, f.cfg.SampleSims))
+		samples = append(samples, sample{x: x})
+	}
+	for i, job := range jobs {
+		counts := job.Wait()
 		aggregate.Merge(counts)
-		samples = append(samples, sample{x: x, counts: counts})
+		samples[i].counts = counts
 	}
 	return samples, aggregate, nil
 }

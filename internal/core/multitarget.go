@@ -131,16 +131,7 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 
 		perTargetStart := f.env.Simulations()
 		optPhase := coverage.NewCountsFor(model)
-		objective := func(x []float64) float64 {
-			tmpl, err := skel.Instantiate("cand", x)
-			if err != nil {
-				panic(err)
-			}
-			counts := f.env.Run(tmpl, f.cfg.OptSims)
-			optPhase.Merge(counts)
-			return target.Score(counts)
-		}
-		res, err := opt.ImplicitFiltering(objective, bestSample(samples, target), opt.Options{
+		res, err := opt.ImplicitFiltering(nil, bestSample(samples, target), opt.Options{
 			Directions:       f.cfg.OptDirections,
 			InitialStep:      f.cfg.InitialStep,
 			MinStep:          f.cfg.MinStep,
@@ -150,6 +141,7 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			Lo:               0,
 			Hi:               float64(skel.MaxWeight()),
 			RNG:              r.SplitString("optimize-" + model.Name(ev)),
+			Batch:            f.batchObjective(skel, target, optPhase),
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,145 @@
+// Compiled sampling plans: the "compile once, execute N times" fast path
+// of the biased-random engine.
+//
+// A batch simulation job evaluates one (template, defaults) pair N times
+// with N different seeds. The interpreted path re-resolves every
+// parameter by name on every decision (template linear scan + defaults
+// map lookup) and allocates a fresh weight slice per weighted decision.
+// A Plan performs all of that work once per batch: every parameter the
+// pair defines is pre-resolved into a flat table with precomputed
+// cumulative-weight sums, shared read-only by all N generator instances.
+//
+// Determinism contract: a generator backed by a Plan consumes its random
+// stream exactly like the interpreted path (one Intn per multi-entry
+// weighted pick, none for single-entry parameters, one extra IntRange
+// for subrange entries), so (template, seed) identifies the same
+// test-instance on both paths bit for bit.
+package generator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/template"
+)
+
+// planParam is one pre-resolved parameter of a Plan.
+type planParam struct {
+	name    string
+	isRange bool
+	lo, hi  int // range parameter bounds
+
+	// Weight parameter tables. cum[i] is the cumulative weight of the
+	// positive-weight entries up to and including pos[i]; total is the
+	// grand total, 0 when every weight is zero (uniform fallback).
+	entries []template.WeightEntry
+	pos     []int
+	cum     []int
+	total   int
+}
+
+// pick draws one entry according to the weights, consuming the stream
+// exactly like rng.RNG.WeightedIndex on the interpreted path.
+func (p *planParam) pick(r *rng.RNG) template.WeightEntry {
+	if len(p.entries) == 1 {
+		return p.entries[0]
+	}
+	if p.total == 0 {
+		return p.entries[r.Intn(len(p.entries))]
+	}
+	k := r.Intn(p.total)
+	return p.entries[p.pos[sort.SearchInts(p.cum, k+1)]]
+}
+
+// Plan is a compiled (template, defaults) pair: every parameter either of
+// them defines, pre-resolved (template wins) into decision tables. A Plan
+// is immutable after Compile and safe for concurrent use by any number of
+// generators.
+type Plan struct {
+	tmpl   *template.Template
+	params map[string]*planParam
+}
+
+// Compile builds the sampling plan for tmpl (nil = pure defaults) over
+// the given defaults.
+func Compile(tmpl *template.Template, defaults Defaults) *Plan {
+	plan := &Plan{tmpl: tmpl, params: make(map[string]*planParam, len(defaults))}
+	for name, p := range defaults {
+		plan.params[name] = compileParam(name, p)
+	}
+	if tmpl != nil {
+		for _, p := range tmpl.Params {
+			plan.params[p.ParamName()] = compileParam(p.ParamName(), p)
+		}
+	}
+	return plan
+}
+
+// Template returns the template the plan was compiled from (may be nil).
+func (p *Plan) Template() *template.Template { return p.tmpl }
+
+// Has reports whether the plan defines the parameter.
+func (p *Plan) Has(name string) bool {
+	_, ok := p.params[name]
+	return ok
+}
+
+func compileParam(name string, p template.Param) *planParam {
+	switch param := p.(type) {
+	case *template.RangeParam:
+		return &planParam{name: name, isRange: true, lo: param.Lo, hi: param.Hi}
+	case *template.WeightParam:
+		// Copy the entries: the plan may be cached and shared across
+		// goroutines long after the caller mutates its template.
+		cp := &planParam{name: name, entries: append([]template.WeightEntry(nil), param.Entries...)}
+		for i, e := range cp.entries {
+			if e.Weight > 0 {
+				cp.total += e.Weight
+				cp.pos = append(cp.pos, i)
+				cp.cum = append(cp.cum, cp.total)
+			}
+		}
+		return cp
+	default:
+		panic(fmt.Sprintf("generator: parameter %q has unknown type %T", name, p))
+	}
+}
+
+// NewFromPlan returns a generator for one test-instance backed by the
+// compiled plan. It is the fast-path equivalent of New(plan.Template(),
+// defaults, seed): same decisions, same stream consumption, no
+// per-decision resolution or allocation.
+func NewFromPlan(plan *Plan, seed uint64) *Generator {
+	return &Generator{tmpl: plan.tmpl, plan: plan, r: rng.New(seed), seed: seed}
+}
+
+// planLookup finds the pre-resolved parameter, panicking like the
+// interpreted path on unknown names.
+func (g *Generator) planLookup(name string) *planParam {
+	p, ok := g.plan.params[name]
+	if !ok {
+		panic(fmt.Sprintf("generator: no setting or default for parameter %q", name))
+	}
+	return p
+}
+
+func (g *Generator) planPickValue(name string) string {
+	p := g.planLookup(name)
+	if p.isRange {
+		panic(fmt.Sprintf("generator: parameter %q is not a weight parameter", name))
+	}
+	return p.pick(g.r).Label()
+}
+
+func (g *Generator) planPickInt(name string) int {
+	p := g.planLookup(name)
+	if p.isRange {
+		return g.r.IntRange(p.lo, p.hi)
+	}
+	e := p.pick(g.r)
+	if !e.IsRange {
+		panic(fmt.Sprintf("generator: parameter %q has symbolic entries; use PickValue", name))
+	}
+	return g.r.IntRange(e.Lo, e.Hi)
+}

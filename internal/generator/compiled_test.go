@@ -1,0 +1,155 @@
+package generator
+
+import (
+	"testing"
+
+	"repro/internal/template"
+)
+
+// equivTemplates exercises every decision kind the compiler handles:
+// multi-entry symbolic weights, zero weights, subrange weights, plain
+// ranges, single-entry parameters, and defaults fallback/override.
+func equivTemplates(t *testing.T) []*template.Template {
+	t.Helper()
+	srcs := []string{
+		`template mix {
+		    weight Mnemonic { load: 40; store: 40; add: 0; mul: 20; }
+		    range CacheDelay [3 : 77];
+		}`,
+		`template sub {
+		    weight CacheDelay { [0:9]: 90; [10:100]: 10; }
+		    weight Mode { fast: 1; slow: 3; }
+		}`,
+		`template zero { weight Mnemonic { a: 0; b: 0; c: 0; } }`,
+		`template single { weight Mnemonic { only: 0; } range CacheDelay [5 : 5]; }`,
+		`template sparse { range Unrelated [1 : 1000000]; }`,
+	}
+	out := make([]*template.Template, len(srcs))
+	for i, src := range srcs {
+		out[i] = mustParse(t, src)
+	}
+	return out
+}
+
+// drive makes the same decision sequence on both generators and fails on
+// the first divergence. Identical decisions AND identical stream
+// consumption are both required: a consumption mismatch shows up as a
+// divergence on a later decision.
+func drive(t *testing.T, name string, a, b *Generator, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		if a.Has("Mnemonic") {
+			if x, y := a.PickValue("Mnemonic"), b.PickValue("Mnemonic"); x != y {
+				t.Fatalf("%s round %d: Mnemonic %q != %q", name, i, x, y)
+			}
+		}
+		if a.Has("CacheDelay") {
+			if x, y := a.PickInt("CacheDelay"), b.PickInt("CacheDelay"); x != y {
+				t.Fatalf("%s round %d: CacheDelay %d != %d", name, i, x, y)
+			}
+		}
+		if a.Has("Mode") {
+			if x, y := a.PickValue("Mode"), b.PickValue("Mode"); x != y {
+				t.Fatalf("%s round %d: Mode %q != %q", name, i, x, y)
+			}
+		}
+	}
+	// Any stream-consumption mismatch that the decisions masked shows up
+	// in the next raw draw.
+	if x, y := a.RNG().Uint64(), b.RNG().Uint64(); x != y {
+		t.Fatalf("%s: RNG streams diverged (%d != %d)", name, x, y)
+	}
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	defaults := testDefaults(t)
+	for _, tmpl := range equivTemplates(t) {
+		plan := Compile(tmpl, defaults)
+		for seed := uint64(0); seed < 25; seed++ {
+			interp := New(tmpl, defaults, seed)
+			fast := NewFromPlan(plan, seed)
+			drive(t, tmpl.Name, interp, fast, 40)
+		}
+	}
+}
+
+func TestCompiledNilTemplateMatchesInterpreted(t *testing.T) {
+	defaults := testDefaults(t)
+	plan := Compile(nil, defaults)
+	if plan.Template() != nil {
+		t.Fatal("nil-template plan should report a nil template")
+	}
+	for seed := uint64(1); seed < 20; seed++ {
+		drive(t, "defaults-only", New(nil, defaults, seed), NewFromPlan(plan, seed), 40)
+	}
+}
+
+func TestCompiledSingleEntryConsumesNoRandomness(t *testing.T) {
+	tmpl := mustParse(t, "template t { weight W { only: 0; } }")
+	g := NewFromPlan(Compile(tmpl, nil), 17)
+	if v := g.PickValue("W"); v != "only" {
+		t.Fatalf("pick = %q", v)
+	}
+	// The stream must be untouched: the next draw equals a fresh
+	// generator's first draw.
+	if g.RNG().Uint64() != NewFromPlan(Compile(tmpl, nil), 17).RNG().Uint64() {
+		t.Fatal("single-entry pick consumed randomness")
+	}
+}
+
+func TestCompiledAllZeroWeightsUniform(t *testing.T) {
+	tmpl := mustParse(t, "template t { weight W { a: 0; b: 0; } }")
+	g := NewFromPlan(Compile(tmpl, nil), 7)
+	seen := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		seen[g.PickValue("W")]++
+	}
+	if seen["a"] < 800 || seen["b"] < 800 {
+		t.Fatalf("all-zero weights not uniform on the compiled path: %v", seen)
+	}
+}
+
+func TestPlanImmuneToTemplateMutation(t *testing.T) {
+	tmpl := mustParse(t, "template t { weight W { a: 100; b: 0; } }")
+	plan := Compile(tmpl, nil)
+	tmpl.Weight("W").Entries[0].Weight = 0
+	tmpl.Weight("W").Entries[1].Weight = 100
+	g := NewFromPlan(plan, 3)
+	for i := 0; i < 200; i++ {
+		if v := g.PickValue("W"); v != "a" {
+			t.Fatalf("plan saw a post-compile template mutation: picked %q", v)
+		}
+	}
+}
+
+func TestPlanHas(t *testing.T) {
+	tmpl := mustParse(t, "template t { range R [1:2]; }")
+	plan := Compile(tmpl, testDefaults(t))
+	if !plan.Has("R") || !plan.Has("Mnemonic") {
+		t.Fatal("plan should cover both template and default params")
+	}
+	if plan.Has("NoSuch") {
+		t.Fatal("plan should not cover unknown params")
+	}
+	g := NewFromPlan(plan, 0)
+	if !g.Has("R") || !g.Has("Mnemonic") || g.Has("NoSuch") {
+		t.Fatal("plan-backed generator Has disagrees with plan")
+	}
+}
+
+func TestCompiledPanicsMatchInterpreted(t *testing.T) {
+	plan := Compile(nil, testDefaults(t))
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic on the compiled path", name)
+			}
+		}()
+		f()
+	}
+	g := NewFromPlan(plan, 0)
+	expectPanic("unknown PickValue", func() { g.PickValue("Missing") })
+	expectPanic("unknown PickInt", func() { g.PickInt("Missing") })
+	expectPanic("PickValue on range", func() { g.PickValue("CacheDelay") })
+	expectPanic("PickInt on symbolic weight", func() { g.PickInt("Mnemonic") })
+}

@@ -27,10 +27,14 @@ import (
 // names.
 type Defaults map[string]template.Param
 
-// Generator makes biased-random decisions for one test-instance.
+// Generator makes biased-random decisions for one test-instance. It is
+// backed either by a (template, defaults) pair resolved per decision, or
+// by a compiled Plan (see NewFromPlan) that resolves everything once per
+// batch; both paths produce identical decision streams for a given seed.
 type Generator struct {
 	tmpl     *template.Template
 	defaults Defaults
+	plan     *Plan
 	r        *rng.RNG
 	seed     uint64
 }
@@ -68,6 +72,9 @@ func (g *Generator) resolve(name string) (template.Param, bool) {
 // parameters they declared defaults for, so an unknown name is a
 // programming error, not an input error.
 func (g *Generator) PickValue(name string) string {
+	if g.plan != nil {
+		return g.planPickValue(name)
+	}
 	p, ok := g.resolve(name)
 	if !ok {
 		panic(fmt.Sprintf("generator: no setting or default for parameter %q", name))
@@ -93,6 +100,9 @@ func (g *Generator) PickValue(name string) string {
 // It panics if the parameter is unknown or is a symbolic weight
 // parameter.
 func (g *Generator) PickInt(name string) int {
+	if g.plan != nil {
+		return g.planPickInt(name)
+	}
 	p, ok := g.resolve(name)
 	if !ok {
 		panic(fmt.Sprintf("generator: no setting or default for parameter %q", name))
@@ -131,6 +141,9 @@ func (g *Generator) pickIndex(weights []int) int {
 
 // Has reports whether the parameter has a setting (template or default).
 func (g *Generator) Has(name string) bool {
+	if g.plan != nil {
+		return g.plan.Has(name)
+	}
 	_, ok := g.resolve(name)
 	return ok
 }

@@ -93,11 +93,14 @@ func (t *Target) Weight(event int) float64 { return t.weights[event] }
 func (t *Target) Len() int { return len(t.order) }
 
 // Score evaluates the target on an aggregate: the weighted sum of
-// empirical hit probabilities.
+// empirical hit probabilities. Summation runs in insertion order, not
+// map order: float addition is not associative, and a per-process
+// iteration order would let near-tie optimizer comparisons flip from
+// run to run, breaking fixed-seed reproducibility of the whole flow.
 func (t *Target) Score(c *coverage.Counts) float64 {
 	s := 0.0
-	for e, w := range t.weights {
-		s += w * c.HitRate(e)
+	for _, e := range t.order {
+		s += t.weights[e] * c.HitRate(e)
 	}
 	return s
 }

@@ -1,0 +1,176 @@
+package opt
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// asBatch lifts a sequential objective into a batch objective that
+// honors the ordering contract: the i-th value is f(points[i]).
+func asBatch(f Objective) BatchObjective {
+	return func(points [][]float64) []float64 {
+		out := make([]float64, len(points))
+		for i, p := range points {
+			out[i] = f(p)
+		}
+		return out
+	}
+}
+
+// sameResult fails unless the two runs are identical down to the
+// iteration histories — the contract that lets the flow switch between
+// the sequential and batch paths without changing results.
+func sameResult(t *testing.T, a, b Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.X, b.X) {
+		t.Fatalf("X: %v != %v", a.X, b.X)
+	}
+	if a.Value != b.Value || a.Evals != b.Evals {
+		t.Fatalf("value/evals: %v/%d != %v/%d", a.Value, a.Evals, b.Value, b.Evals)
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		t.Fatalf("histories differ:\n%+v\n%+v", a.History, b.History)
+	}
+}
+
+func TestImplicitFilteringBatchMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 44} {
+		opts := Options{
+			Directions:    8,
+			MaxIterations: 40,
+			MinStep:       0.01,
+			MaxEvals:      200,
+		}
+		x0 := []float64{10, 85, 40}
+		optsSeq := opts
+		optsSeq.RNG = rng.New(seed)
+		seq, err := ImplicitFiltering(sphere, x0, optsSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optsBatch := opts
+		optsBatch.RNG = rng.New(seed)
+		optsBatch.Batch = asBatch(sphere)
+		batch, err := ImplicitFiltering(nil, x0, optsBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, seq, batch)
+	}
+}
+
+func TestCompassSearchBatchMatchesSequential(t *testing.T) {
+	opts := Options{MaxIterations: 60, MinStep: 0.01, MaxEvals: 150}
+	x0 := []float64{15, 90}
+	optsSeq := opts
+	optsSeq.RNG = rng.New(5)
+	seq, err := CompassSearch(sphere, x0, optsSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsBatch := opts
+	optsBatch.RNG = rng.New(5)
+	optsBatch.Batch = asBatch(sphere)
+	batch, err := CompassSearch(nil, x0, optsBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, seq, batch)
+}
+
+func TestCompassSearchMaxEvalsStopsWholeSweep(t *testing.T) {
+	// Regression: the budget check used to break only the +/- sign pair
+	// of the current coordinate, letting a sweep overrun MaxEvals by up
+	// to 2*dim-1 calls on high-dimensional problems.
+	for _, budget := range []int{1, 2, 7, 23, 37} {
+		calls := 0
+		f := func(x []float64) float64 { calls++; return 0 }
+		if _, err := CompassSearch(f, make([]float64, 20), Options{
+			MaxIterations: 1000,
+			MaxEvals:      budget,
+			MinStep:       1e-12,
+			RNG:           rng.New(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if calls > budget {
+			t.Fatalf("budget %d: %d calls", budget, calls)
+		}
+	}
+}
+
+func TestImplicitFilteringMaxEvalsExact(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return 0 }
+	if _, err := ImplicitFiltering(f, make([]float64, 6), Options{
+		Directions:    50,
+		MaxIterations: 1000,
+		MaxEvals:      30,
+		MinStep:       1e-12,
+		RNG:           rng.New(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls > 30 {
+		t.Fatalf("calls = %d, budget 30", calls)
+	}
+}
+
+func TestBatchNeverCalledWithZeroPoints(t *testing.T) {
+	// When the eval budget runs dry mid-iteration the probe list may be
+	// empty; the batch objective must not be invoked for it.
+	batch := func(points [][]float64) []float64 {
+		if len(points) == 0 {
+			t.Fatal("batch objective called with zero points")
+		}
+		out := make([]float64, len(points))
+		for i, p := range points {
+			out[i] = sphere(p)
+		}
+		return out
+	}
+	for _, budget := range []int{1, 2, 3} {
+		if _, err := CompassSearch(nil, []float64{50, 50}, Options{
+			MaxIterations: 100,
+			MaxEvals:      budget,
+			MinStep:       1e-12,
+			RNG:           rng.New(3),
+			Batch:         batch,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ImplicitFiltering(nil, []float64{50, 50}, Options{
+			Directions:    10,
+			MaxIterations: 100,
+			MaxEvals:      budget,
+			MinStep:       1e-12,
+			RNG:           rng.New(4),
+			Batch:         batch,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNilObjectiveRequiresBatch(t *testing.T) {
+	if _, err := ImplicitFiltering(nil, []float64{1}, Options{}); err == nil {
+		t.Error("implicit filtering: nil objective without batch should fail")
+	}
+	if _, err := CompassSearch(nil, []float64{1}, Options{}); err == nil {
+		t.Error("compass search: nil objective without batch should fail")
+	}
+}
+
+func TestRandomSearchScratchReuseStillCorrect(t *testing.T) {
+	// The reused scratch point must not alias the returned best point.
+	res, err := RandomSearch(sphere, 3, Options{MaxEvals: 200, RNG: rng.New(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sphere(res.X)
+	if res.Value != want {
+		t.Fatalf("returned X (%v) does not produce returned value: %v != %v", res.X, want, res.Value)
+	}
+}

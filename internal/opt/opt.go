@@ -24,6 +24,17 @@ import (
 // accuracy.
 type Objective func(x []float64) float64
 
+// BatchObjective evaluates many independent points at once and returns
+// one value per point, in order. Stencil-based optimizers probe n
+// independent points per iteration; a batch objective lets the caller
+// evaluate them concurrently (e.g. as parallel simulation jobs on
+// sim.Env's scheduler) instead of one at a time. The i-th returned value
+// must be what Objective would have returned for points[i] had the
+// points been evaluated sequentially in order — callers backed by a
+// deterministic simulation environment get this by submitting jobs in
+// point order.
+type BatchObjective func(points [][]float64) []float64
+
 // Options configure an optimization run. Zero values select the
 // documented defaults.
 type Options struct {
@@ -55,6 +66,10 @@ type Options struct {
 	Lo, Hi float64
 	// RNG drives direction sampling. nil seeds a fresh generator with 0.
 	RNG *rng.RNG
+	// Batch, when non-nil, evaluates each iteration's independent probe
+	// points as one call (stencil optimizers only: ImplicitFiltering and
+	// CompassSearch). The per-point Objective argument may then be nil.
+	Batch BatchObjective
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +124,56 @@ func clampTo(x []float64, lo, hi float64) {
 	}
 }
 
+// evaluator wraps the sequential and batch objective forms behind one
+// budget-counting interface so the stencil optimizers are agnostic to
+// which the caller supplied.
+type evaluator struct {
+	f     Objective
+	batch BatchObjective
+	evals int
+}
+
+// all evaluates every point, in order, counting one eval per point.
+func (e *evaluator) all(points [][]float64) []float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	e.evals += len(points)
+	if e.batch != nil {
+		return e.batch(points)
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = e.f(p)
+	}
+	return out
+}
+
+// one evaluates a single point.
+func (e *evaluator) one(x []float64) float64 {
+	return e.all([][]float64{x})[0]
+}
+
+// remaining returns how many evals are left under maxEvals (0 =
+// unlimited, reported as a large budget).
+func (e *evaluator) remaining(maxEvals int) int {
+	if maxEvals <= 0 {
+		return 1 << 30
+	}
+	return maxEvals - e.evals
+}
+
+// historyCap sizes a history preallocation: the expected iteration count,
+// capped so budget-bound runs passing MaxIterations = 1<<30 don't
+// preallocate gigabytes for a history that stays tiny.
+func historyCap(n int) int {
+	const limit = 4096
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
 // randomDirection draws a uniform direction on the unit sphere.
 func randomDirection(r *rng.RNG, dim int) []float64 {
 	d := make([]float64, dim)
@@ -133,55 +198,60 @@ func randomDirection(r *rng.RNG, dim int) []float64 {
 
 // ImplicitFiltering maximizes f starting from x0 using the paper's
 // Algorithm 1. Each iteration samples f at the center (resampled unless
-// disabled) and at Directions random points at stencil distance h; the
-// center moves to the best point if it improves, otherwise h is halved.
-// The run stops on MaxIterations, MinStep, MaxEvals, or TargetValue.
+// disabled) and at Directions random points at stencil distance h — as
+// one batch when Options.Batch is set, since the probes are independent;
+// the center moves to the best point if it improves, otherwise h is
+// halved. The run stops on MaxIterations, MinStep, MaxEvals, or
+// TargetValue.
 func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if len(x0) == 0 {
 		return Result{}, fmt.Errorf("opt: empty starting point")
 	}
+	if f == nil && opts.Batch == nil {
+		return Result{}, fmt.Errorf("opt: nil objective")
+	}
 	dim := len(x0)
 	center := append([]float64(nil), x0...)
 	clampTo(center, opts.Lo, opts.Hi)
 
-	evals := 0
-	eval := func(x []float64) float64 {
-		evals++
-		return f(x)
-	}
+	ev := &evaluator{f: f, batch: opts.Batch}
 
 	h := opts.InitialStep
-	best := eval(center)
+	best := ev.one(center)
 	overallBest := best
 	overallX := append([]float64(nil), center...)
-	var history []IterRecord
+	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+		if ev.remaining(opts.MaxEvals) <= 0 {
 			break
 		}
 		if !opts.NoResampleCenter {
-			best = eval(center)
+			best = ev.one(center)
 		}
 		iterBest := best
 		nextCenter := center
 		moved := false
 
-		for d := 0; d < opts.Directions; d++ {
-			if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
-				break
-			}
+		nProbes := opts.Directions
+		if rem := ev.remaining(opts.MaxEvals); nProbes > rem {
+			nProbes = rem
+		}
+		probes := make([][]float64, 0, nProbes)
+		for d := 0; d < nProbes; d++ {
 			dir := randomDirection(opts.RNG, dim)
 			cand := make([]float64, dim)
 			for i := range cand {
 				cand[i] = center[i] + dir[i]*h
 			}
 			clampTo(cand, opts.Lo, opts.Hi)
-			val := eval(cand)
+			probes = append(probes, cand)
+		}
+		for d, val := range ev.all(probes) {
 			if val > iterBest {
 				iterBest = val
-				nextCenter = cand
+				nextCenter = probes[d]
 				moved = true
 			}
 		}
@@ -196,7 +266,7 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 			overallBest = iterBest
 			overallX = append([]float64(nil), nextCenter...)
 		}
-		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: evals})
+		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals})
 
 		if opts.TargetValue > 0 && overallBest >= opts.TargetValue {
 			break
@@ -205,7 +275,7 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 			break
 		}
 	}
-	return Result{X: overallX, Value: overallBest, Evals: evals, History: history}, nil
+	return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, nil
 }
 
 // RandomSearch maximizes f by uniform sampling of the box — the
@@ -220,18 +290,23 @@ func RandomSearch(f Objective, dim int, opts Options) (Result, error) {
 	if budget <= 0 {
 		budget = opts.Directions * opts.MaxIterations
 	}
+	// One scratch point reused for every draw and one history slice sized
+	// to the whole budget: the run allocates O(1), not O(budget).
+	x := make([]float64, dim)
 	var bestX []float64
 	best := math.Inf(-1)
-	var history []IterRecord
+	history := make([]IterRecord, 0, historyCap(budget))
 	for i := 0; i < budget; i++ {
-		x := make([]float64, dim)
 		for j := range x {
 			x[j] = opts.Lo + opts.RNG.Float64()*(opts.Hi-opts.Lo)
 		}
 		v := f(x)
 		if v > best {
 			best = v
-			bestX = x
+			if bestX == nil {
+				bestX = make([]float64, dim)
+			}
+			copy(bestX, x)
 		}
 		history = append(history, IterRecord{Iter: i + 1, Best: best, Evals: i + 1})
 		if opts.TargetValue > 0 && best >= opts.TargetValue {
@@ -243,49 +318,58 @@ func RandomSearch(f Objective, dim int, opts Options) (Result, error) {
 
 // CompassSearch maximizes f with coordinate-aligned pattern search
 // (generalized pattern search with the 2d compass stencil): probe
-// +/- h along every coordinate, move to the best improvement, halve h
-// when none improves.
+// +/- h along every coordinate — as one batch when Options.Batch is set —
+// move to the best improvement, halve h when none improves. Once MaxEvals
+// is reached the whole probe sweep stops, not just the current
+// coordinate's sign pair.
 func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if len(x0) == 0 {
 		return Result{}, fmt.Errorf("opt: empty starting point")
 	}
+	if f == nil && opts.Batch == nil {
+		return Result{}, fmt.Errorf("opt: nil objective")
+	}
 	dim := len(x0)
 	center := append([]float64(nil), x0...)
 	clampTo(center, opts.Lo, opts.Hi)
 
-	evals := 0
-	eval := func(x []float64) float64 {
-		evals++
-		return f(x)
-	}
+	ev := &evaluator{f: f, batch: opts.Batch}
 	h := opts.InitialStep
-	best := eval(center)
-	var history []IterRecord
+	best := ev.one(center)
+	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+		if ev.remaining(opts.MaxEvals) <= 0 {
 			break
 		}
 		if !opts.NoResampleCenter {
-			best = eval(center)
+			best = ev.one(center)
 		}
 		iterBest := best
 		nextCenter := center
 		moved := false
-		for i := 0; i < dim; i++ {
+		nProbes := 2 * dim
+		if rem := ev.remaining(opts.MaxEvals); nProbes > rem {
+			nProbes = rem
+		}
+		probes := make([][]float64, 0, nProbes)
+		for i := 0; i < dim && len(probes) < nProbes; i++ {
 			for _, sign := range []float64{1, -1} {
-				if opts.MaxEvals > 0 && evals >= opts.MaxEvals {
+				if len(probes) == nProbes {
 					break
 				}
 				cand := append([]float64(nil), center...)
 				cand[i] += sign * h
 				clampTo(cand, opts.Lo, opts.Hi)
-				if v := eval(cand); v > iterBest {
-					iterBest = v
-					nextCenter = cand
-					moved = true
-				}
+				probes = append(probes, cand)
+			}
+		}
+		for i, v := range ev.all(probes) {
+			if v > iterBest {
+				iterBest = v
+				nextCenter = probes[i]
+				moved = true
 			}
 		}
 		if moved {
@@ -294,7 +378,7 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 		} else {
 			h /= 2
 		}
-		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: evals})
+		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals})
 		if opts.TargetValue > 0 && best >= opts.TargetValue {
 			break
 		}
@@ -302,5 +386,5 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 			break
 		}
 	}
-	return Result{X: center, Value: best, Evals: evals, History: history}, nil
+	return Result{X: center, Value: best, Evals: ev.evals, History: history}, nil
 }

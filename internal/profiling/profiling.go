@@ -1,0 +1,48 @@
+// Package profiling wires the standard runtime/pprof CPU and heap
+// profilers behind two file-path options, shared by the repro and ascdg
+// commands. Both profiles are optional; an empty path disables the
+// corresponding profiler.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (if non-empty). The stop function must be called exactly once,
+// normally via defer, after the profiled work is done.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the heap profile reflects live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

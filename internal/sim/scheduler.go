@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/coverage"
+	"repro/internal/duv"
+	"repro/internal/generator"
+	"repro/internal/rng"
+)
+
+// Job is a batch simulation accepted by the environment's scheduler: N
+// test-instances of one compiled template. Results are retrieved with
+// Wait; a Job may be waited on by at most one goroutine and is fulfilled
+// even if the submitter never waits.
+type Job struct {
+	unit    duv.DUV
+	plan    *generator.Plan
+	seed    *rng.RNG // the job's batch seed stream
+	pending atomic.Int64
+	mu      sync.Mutex
+	total   *coverage.Counts
+	done    chan struct{}
+}
+
+// Wait blocks until every instance of the job has been simulated and
+// returns the aggregated counts.
+func (j *Job) Wait() *coverage.Counts {
+	<-j.done
+	return j.total
+}
+
+// chunk is one contiguous shard [lo, hi) of a job's instance indices.
+// Instance i's generator seed depends only on the job's batch seed and i,
+// never on which worker runs it or in which order, so any sharding of a
+// job yields bit-identical aggregates.
+type chunk struct {
+	job    *Job
+	lo, hi int
+}
+
+// Scheduler is a persistent worker pool for batch simulation. Workers
+// are started once (lazily, on the first job) and live until Close;
+// every job, from any goroutine, is sharded into chunks and streamed
+// through the same pool, so concurrent jobs fill the machine instead of
+// spawning and joining a fresh goroutine set per batch.
+type Scheduler struct {
+	workers int
+	tasks   chan chunk
+	start   sync.Once
+	stop    sync.Once
+}
+
+// newScheduler sizes a pool with the given worker count (>= 1). The task
+// queue is buffered so submitters rarely block while the pool drains.
+func newScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scheduler{workers: workers, tasks: make(chan chunk, workers*8)}
+}
+
+// enqueue shards a job of n instances into chunks and hands them to the
+// pool. It may block if the task queue is full; workers always drain it,
+// so submission cannot deadlock.
+func (s *Scheduler) enqueue(j *Job, n int) {
+	s.start.Do(func() {
+		for w := 0; w < s.workers; w++ {
+			go s.work()
+		}
+	})
+	// Shard into at most 2 chunks per worker, at least 8 instances per
+	// chunk so chunk bookkeeping stays negligible next to simulation.
+	size := (n + 2*s.workers - 1) / (2 * s.workers)
+	if size < 8 {
+		size = 8
+	}
+	chunks := (n + size - 1) / size
+	j.pending.Store(int64(chunks))
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		s.tasks <- chunk{job: j, lo: lo, hi: hi}
+	}
+}
+
+// work is one worker's loop: simulate a chunk into a private aggregate,
+// merge it into the job, and complete the job when its last chunk lands.
+// Counts merging is commutative, so completion order does not affect the
+// result.
+func (s *Scheduler) work() {
+	for t := range s.tasks {
+		j := t.job
+		local := coverage.NewCounts(j.total.Len())
+		for i := t.lo; i < t.hi; i++ {
+			g := generator.NewFromPlan(j.plan, j.seed.SplitIndex(uint64(i)).Uint64())
+			local.Add(j.unit.Simulate(g))
+		}
+		j.mu.Lock()
+		j.total.Merge(local)
+		j.mu.Unlock()
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+// Close shuts the pool down; idle workers exit after finishing queued
+// work. No job may be submitted after Close. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.stop.Do(func() { close(s.tasks) })
+}

@@ -2,13 +2,20 @@
 // reproduction: the stand-in for the proprietary simulation farm the
 // CDG-Runner submits jobs to (paper Section I, Fig. 2).
 //
-// The environment takes (test-template, N) jobs, fans the N
-// test-instances out over a worker pool, and returns the aggregated
-// coverage counts. Seeding is deterministic: every batch gets a fresh
-// seed stream derived from the environment's base seed and a batch
-// counter, so an entire AS-CDG run is reproducible from one seed while
-// repeated submissions of the same template still see fresh sampling
-// noise — the "dynamic noise" the optimizer must absorb (Section IV-E).
+// The environment takes (test-template, N) jobs, shards each job into
+// chunks that stream through one persistent worker-pool scheduler, and
+// returns the aggregated coverage counts. Many jobs may be in flight at
+// once (Submit/Wait); the pool is shared by all of them. Seeding is
+// deterministic: every batch gets a fresh seed stream derived from the
+// environment's base seed and a batch counter assigned at submission, so
+// an entire AS-CDG run is reproducible from one seed — and bit-identical
+// across worker counts and scheduling orders — while repeated
+// submissions of the same template still see fresh sampling noise (the
+// "dynamic noise" the optimizer must absorb, Section IV-E).
+//
+// Each job's template is compiled once into a generator.Plan (cached per
+// template) and shared read-only by all N instances, so per-decision
+// parameter resolution and allocation are off the per-simulation path.
 package sim
 
 import (
@@ -25,11 +32,16 @@ import (
 
 // Env is a batch simulation environment bound to one DUV.
 type Env struct {
-	unit    duv.DUV
-	workers int
-	seed    *rng.RNG
-	batch   atomic.Uint64
-	sims    atomic.Uint64
+	unit     duv.DUV
+	workers  int
+	seed     *rng.RNG
+	batch    atomic.Uint64
+	sims     atomic.Uint64
+	defaults generator.Defaults
+	sched    *Scheduler
+
+	planMu sync.RWMutex
+	plans  map[*template.Template]*generator.Plan
 }
 
 // NewEnv creates an environment for the unit with the given base seed.
@@ -38,65 +50,114 @@ func NewEnv(unit duv.DUV, seed uint64, workers int) *Env {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Env{unit: unit, workers: workers, seed: rng.New(seed)}
+	return &Env{
+		unit:     unit,
+		workers:  workers,
+		seed:     rng.New(seed),
+		defaults: unit.Defaults(),
+		sched:    newScheduler(workers),
+		plans:    map[*template.Template]*generator.Plan{},
+	}
 }
+
+// Close releases the environment's worker pool. No simulation may be
+// requested afterwards. Leaving an environment unclosed leaks its idle
+// workers until process exit — harmless for CLIs, worth avoiding in
+// long-lived servers and benchmarks.
+func (e *Env) Close() { e.sched.Close() }
 
 // Unit returns the DUV the environment simulates.
 func (e *Env) Unit() duv.DUV { return e.unit }
 
 // Simulations returns the total number of simulations run so far — the
-// cost metric every phase of the paper's evaluation reports.
+// cost metric every phase of the paper's evaluation reports. Submitted
+// but unfinished jobs are already counted.
 func (e *Env) Simulations() uint64 { return e.sims.Load() }
 
-// Run simulates n test-instances of tmpl (nil = pure default behavior)
-// and returns the aggregated counts.
-func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
+// plan returns the unit's compiled sampling plan for tmpl, compiling and
+// caching it on first use. Plans are keyed by template identity; the
+// cache holds every distinct template the environment has simulated.
+func (e *Env) plan(tmpl *template.Template) *generator.Plan {
+	e.planMu.RLock()
+	p, ok := e.plans[tmpl]
+	e.planMu.RUnlock()
+	if ok {
+		return p
+	}
+	p = generator.Compile(tmpl, e.defaults)
+	e.planMu.Lock()
+	// Re-check: a racing compiler may have won; keep the first plan so
+	// every instance of the template shares one table.
+	if q, ok := e.plans[tmpl]; ok {
+		p = q
+	} else {
+		e.plans[tmpl] = p
+	}
+	e.planMu.Unlock()
+	return p
+}
+
+// Submit enqueues a batch of n test-instances of tmpl (nil = pure
+// default behavior) on the scheduler and returns immediately. The batch
+// seed is drawn from the environment's counter at submission, so a fixed
+// submission order reproduces a fixed result regardless of worker count
+// or completion order. Wait on the returned job for the aggregate.
+func (e *Env) Submit(tmpl *template.Template, n int) *Job {
 	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
-	model := e.unit.Model()
-
-	workers := e.workers
-	if workers > n {
-		workers = n
+	job := &Job{
+		unit:  e.unit,
+		plan:  e.plan(tmpl),
+		seed:  batchSeed,
+		total: coverage.NewCountsFor(e.unit.Model()),
+		done:  make(chan struct{}),
 	}
-	if workers <= 1 {
-		c := coverage.NewCountsFor(model)
-		for i := 0; i < n; i++ {
-			g := generator.New(tmpl, e.unit.Defaults(), batchSeed.SplitIndex(uint64(i)).Uint64())
-			c.Add(e.unit.Simulate(g))
-		}
-		e.sims.Add(uint64(n))
-		return c
-	}
-
-	parts := make([]*coverage.Counts, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			c := coverage.NewCountsFor(model)
-			for i := w; i < n; i += workers {
-				g := generator.New(tmpl, e.unit.Defaults(), batchSeed.SplitIndex(uint64(i)).Uint64())
-				c.Add(e.unit.Simulate(g))
-			}
-			parts[w] = c
-		}(w)
-	}
-	wg.Wait()
-	total := coverage.NewCountsFor(model)
-	for _, p := range parts {
-		total.Merge(p)
+	if n <= 0 {
+		close(job.done)
+		return job
 	}
 	e.sims.Add(uint64(n))
-	return total
+	e.sched.enqueue(job, n)
+	return job
+}
+
+// Run simulates n test-instances of tmpl (nil = pure default behavior)
+// and returns the aggregated counts. Single-worker environments run the
+// batch inline — the sequential reference path the scheduler is tested
+// against.
+func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
+	if e.workers > 1 && n > 1 {
+		return e.Submit(tmpl, n).Wait()
+	}
+	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
+	plan := e.plan(tmpl)
+	c := coverage.NewCountsFor(e.unit.Model())
+	for i := 0; i < n; i++ {
+		g := generator.NewFromPlan(plan, batchSeed.SplitIndex(uint64(i)).Uint64())
+		c.Add(e.unit.Simulate(g))
+	}
+	if n > 0 {
+		e.sims.Add(uint64(n))
+	}
+	return c
 }
 
 // RunEach simulates n instances of every template and returns one
-// aggregate per template, in order.
+// aggregate per template, in order. All batches are submitted up front
+// and run concurrently on the scheduler.
 func (e *Env) RunEach(templates []*template.Template, n int) []*coverage.Counts {
 	out := make([]*coverage.Counts, len(templates))
+	if e.workers <= 1 {
+		for i, t := range templates {
+			out[i] = e.Run(t, n)
+		}
+		return out
+	}
+	jobs := make([]*Job, len(templates))
 	for i, t := range templates {
-		out[i] = e.Run(t, n)
+		jobs[i] = e.Submit(t, n)
+	}
+	for i, j := range jobs {
+		out[i] = j.Wait()
 	}
 	return out
 }
@@ -112,11 +173,13 @@ func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int)
 // BuildCorpus simulates the unit's entire base regression suite,
 // simsPerTemplate instances each, into a fresh repository. This stands
 // in for the "several weeks of mainstream unit simulation" that precede
-// AS-CDG in the paper's result tables ("Before CDG" columns).
+// AS-CDG in the paper's result tables ("Before CDG" columns). All
+// templates' batches run concurrently on the scheduler.
 func (e *Env) BuildCorpus(simsPerTemplate int) *coverage.Repository {
 	repo := coverage.NewRepository(e.unit.Model())
-	for _, tmpl := range e.unit.BaseTemplates() {
-		e.RunInto(repo, tmpl, simsPerTemplate)
+	templates := e.unit.BaseTemplates()
+	for i, c := range e.RunEach(templates, simsPerTemplate) {
+		repo.RecordCounts(templates[i].Name, c)
 	}
 	return repo
 }
