@@ -22,6 +22,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/generator"
 	"repro/internal/neighbors"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -588,6 +589,18 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.Run("scheduler", func(b *testing.B) {
 		env := sim.NewEnv(unit, 1, 0) // GOMAXPROCS workers
 		defer env.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = env.Submit(tmpl, batch).Wait()
+		}
+		report(b)
+	})
+	b.Run("scheduler_metrics", func(b *testing.B) {
+		// The scheduler path with full observability (metrics + tracing)
+		// enabled — the overhead the internal/sim bench guard bounds at 5%.
+		env := sim.NewEnv(unit, 1, 0)
+		defer env.Close()
+		env.SetRecorder(obs.NewRecorder())
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = env.Submit(tmpl, batch).Wait()

@@ -26,6 +26,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -55,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream JSONL progress events (phases, optimizer iterations) to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,7 +81,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ascdg: %v\n", err)
 		return 1
 	}
-	defer stopProfiles()
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		}
+	}()
+
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		}
+	}()
 
 	cfg := core.Config{
 		Seed:                  *seed,
@@ -88,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		OptSims:               *optSims,
 		BestSims:              *bestSims,
 		Workers:               *workers,
+		Obs:                   sess.Recorder(),
 	}
 	flow := core.NewFlow(unit, cfg)
 	defer flow.Close()

@@ -25,6 +25,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/obs"
 	"repro/internal/regress"
 	"repro/internal/sim"
 )
@@ -43,6 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	minimize := fs.Bool("minimize", false, "print a minimal covering subset of the suite")
 	policy := fs.Int("policy", 0, "allocate this many simulations across the suite")
 	focusLightly := fs.Bool("focus-lightly", false, "policy: weight lightly-hit events 10x")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +66,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "regress: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "regress: %v\n", err)
+		}
+	}()
+
 	var repo *coverage.Repository
 	if *load != "" {
 		repo, err = coverage.LoadFile(*load, unit.Model())
@@ -68,7 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
-		repo = sim.NewEnv(unit, *seed, 0).BuildCorpus(*sims)
+		env := sim.NewEnv(unit, *seed, *workers)
+		defer env.Close()
+		env.SetRecorder(sess.Recorder())
+		repo = env.BuildCorpus(*sims)
 	}
 	suite, err := regress.FromRepository(repo, nil)
 	if err != nil {

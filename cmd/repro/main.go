@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -27,8 +29,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for the whole run")
 	rounds := flag.Int("rounds", 5, "max refinement rounds for family experiments")
 	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := flag.Bool("progress", false, "stream JSONL progress events (phases, optimizer iterations) to stderr")
+	metrics := flag.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -36,9 +43,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopProfiles()
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		}
+	}()
 
-	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		}
+	}()
+
+	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds, Workers: *workers, Obs: sess.Recorder()}
 
 	var results []*figures.Result
 	switch *fig {

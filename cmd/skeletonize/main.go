@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/skeleton"
 	"repro/internal/template"
 )
@@ -28,6 +29,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "linear", "subrange split mode: linear or geometric")
 	zero := fs.Bool("zero", false, "also mark zero-weight entries")
 	slots := fs.Bool("slots", false, "also list the skeleton's slots")
+	fs.Int("workers", 0, "accepted for flag parity with the other commands; skeletonize never simulates")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -35,6 +41,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: skeletonize [flags] <template-file>")
 		return 2
 	}
+
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "skeletonize: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "skeletonize: %v\n", err)
+		}
+	}()
+	rec := sess.Recorder()
 
 	var m skeleton.SubrangeMode
 	switch *mode {
@@ -52,15 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "skeletonize: %v\n", err)
 		return 1
 	}
+	ph := rec.PhaseStart("skeleton", map[string]any{"file": fs.Arg(0)})
 	skel, err := skeleton.Skeletonize(tmpl, skeleton.Options{
 		IncludeZeroWeights: *zero,
 		Subranges:          *subranges,
 		Mode:               m,
 	})
 	if err != nil {
+		ph.End(nil)
 		fmt.Fprintf(stderr, "skeletonize: %v\n", err)
 		return 1
 	}
+	ph.End(map[string]any{"dim": skel.Dim()})
 	fmt.Fprint(stdout, skel.MarkedSource())
 	if *slots {
 		fmt.Fprintf(stdout, "\n// %d modifiable settings:\n", skel.Dim())

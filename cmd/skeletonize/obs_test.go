@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestObsAndWorkersFlags checks the shared observability flags work on
+// the one CLI that never simulates: -workers is accepted for parity and
+// -trace records the skeleton phase.
+func TestObsAndWorkersFlags(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", "4", "-trace", trace, writeTemplate(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev["cat"] == "phase" && ev["name"] == "skeleton" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace missing the skeleton phase span: %v", events)
+	}
+}

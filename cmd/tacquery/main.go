@@ -26,6 +26,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	statlib "repro/internal/stats"
 	"repro/internal/tac"
@@ -48,6 +49,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	uncovered := fs.Bool("uncovered", false, "list never-hit events")
 	lightly := fs.Bool("lightly", false, "list lightly-hit events")
 	ci := fs.Bool("ci", false, "report 95% Wilson confidence intervals for hit rates")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,6 +67,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tacquery: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "tacquery: %v\n", err)
+		}
+	}()
+
 	var repo *coverage.Repository
 	if *load != "" {
 		repo, err = coverage.LoadFile(*load, unit.Model())
@@ -69,7 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
-		env := sim.NewEnv(unit, *seed, 0)
+		env := sim.NewEnv(unit, *seed, *workers)
+		defer env.Close()
+		env.SetRecorder(sess.Recorder())
 		repo = env.BuildCorpus(*sims)
 	}
 	if *save != "" {

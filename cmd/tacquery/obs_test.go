@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWorkersFlagDeterministic checks the repository built under -workers
+// N is identical to the sequential one.
+func TestWorkersFlagDeterministic(t *testing.T) {
+	report := func(workers string) string {
+		var out, errb bytes.Buffer
+		code := run([]string{"-unit", "iounit", "-sims", "50", "-workers", workers}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if one, four := report("1"), report("4"); one != four {
+		t.Fatalf("-workers changed the TAC report:\n%s\nvs\n%s", one, four)
+	}
+}
+
+func TestObsFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "50", "-progress", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	stderr := errb.String()
+	if !strings.Contains(stderr, "sim.batches_submitted") {
+		t.Fatalf("metrics dump missing:\n%s", stderr)
+	}
+	// At least one JSONL line must decode (the corpus runs outside the
+	// flow phases, so only scheduler-level streams are guaranteed — the
+	// stream itself must still be well formed).
+	for _, line := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(line, "{") {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("bad progress line: %v\n%s", err, line)
+			}
+		}
+	}
+}

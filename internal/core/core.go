@@ -27,6 +27,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/neighbors"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -79,6 +80,12 @@ type Config struct {
 	// BestSims is the standalone evaluation budget for the harvested
 	// template (default 2000).
 	BestSims int
+
+	// Obs, when non-nil, instruments the run: phase spans and progress
+	// events from the flow, scheduler metrics from the environment, and
+	// per-iteration records from the optimizer. Purely observational —
+	// reports are bit-identical with it set or nil (default nil).
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +173,7 @@ func (r *Report) Phase(name string) *PhaseStats {
 type Flow struct {
 	env   *sim.Env
 	cfg   Config
+	rec   *obs.Recorder // nil when observability is off
 	repo  *coverage.Repository
 	extra map[string]*template.Template // harvested templates, by name
 	round int                           // refinement round counter (names harvested templates)
@@ -174,9 +182,12 @@ type Flow struct {
 // NewFlow creates a flow for the unit.
 func NewFlow(unit duv.DUV, cfg Config) *Flow {
 	cfg = cfg.withDefaults()
+	env := sim.NewEnv(unit, cfg.Seed, cfg.Workers)
+	env.SetRecorder(cfg.Obs)
 	return &Flow{
-		env:   sim.NewEnv(unit, cfg.Seed, cfg.Workers),
+		env:   env,
 		cfg:   cfg,
+		rec:   cfg.Obs,
 		extra: map[string]*template.Template{},
 	}
 }
@@ -209,6 +220,7 @@ func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
 		return nil, err
 	}
 	// Real targets: the family events still uncovered after the corpus.
+	ph := f.rec.PhaseStart("neighbors", map[string]any{"family": family, "decay": decay})
 	var targets []int
 	for _, id := range famIDs {
 		if f.repo.Total().Hits(id) == 0 {
@@ -220,6 +232,7 @@ func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
 		targets = famIDs[len(famIDs)-1:]
 	}
 	ws, err := neighbors.Ordinal(model, family, targets, decay)
+	ph.End(map[string]any{"targets": len(targets), "approx_events": len(ws)})
 	if err != nil {
 		return nil, err
 	}
@@ -238,8 +251,10 @@ func (f *Flow) RunCross(crossName string) (*Report, error) {
 	if err := f.ensureCorpus(); err != nil {
 		return nil, err
 	}
+	ph := f.rec.PhaseStart("neighbors", map[string]any{"cross": crossName})
 	ids, err := model.IDs(cp.EventNames())
 	if err != nil {
+		ph.End(nil)
 		return nil, err
 	}
 	var targets []int
@@ -251,6 +266,7 @@ func (f *Flow) RunCross(crossName string) (*Report, error) {
 	if len(targets) == 0 {
 		targets = ids
 	}
+	ph.End(map[string]any{"targets": len(targets), "approx_events": len(ids)})
 	return f.Run(neighbors.Uniform(ids), targets)
 }
 
@@ -292,7 +308,11 @@ func (f *Flow) ensureCorpus() error {
 	if f.repo != nil {
 		return nil
 	}
+	ph := f.rec.PhaseStart("corpus", map[string]any{
+		"sims_per_template": f.cfg.CorpusSimsPerTemplate,
+	})
 	f.repo = f.env.BuildCorpus(f.cfg.CorpusSimsPerTemplate)
+	ph.End(map[string]any{"sims": f.repo.Sims()})
 	return nil
 }
 
@@ -323,9 +343,11 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	// have (e.g. templates harvested by earlier runs against a shared
 	// corpus); only templates with known bodies can seed the skeleton,
 	// so rank all templates and keep the best TopTemplates known ones.
+	phTac := f.rec.PhaseStart("tac", map[string]any{"approx_events": target.Len()})
 	stats := tac.New(f.repo)
 	ranked, err := stats.BestTemplates(target.Events(), target.Weights(), 0)
 	if err != nil {
+		phTac.End(nil)
 		return nil, err
 	}
 	byName := map[string]*template.Template{}
@@ -348,6 +370,7 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 			break
 		}
 	}
+	phTac.End(map[string]any{"chosen": len(best)})
 	if len(best) == 0 || best[0].Score == 0 {
 		return nil, fmt.Errorf("core: no existing template shows evidence for the approximated target; widen the neighborhood")
 	}
@@ -356,24 +379,32 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	report.Candidate = candidate
 
 	// Skeletonize (paper Section IV-C).
+	phSkel := f.rec.PhaseStart("skeleton", map[string]any{"candidate": candidate.Name})
 	skel, err := skeleton.Skeletonize(candidate, skeleton.Options{
 		IncludeZeroWeights: f.cfg.IncludeZeroWeights,
 		Subranges:          f.cfg.Subranges,
 		Mode:               f.cfg.SubrangeMode,
 	})
 	if err != nil {
+		phSkel.End(nil)
 		return nil, err
 	}
 	report.Skeleton = skel
+	phSkel.End(map[string]any{"dim": skel.Dim()})
 
 	r := rng.New(f.cfg.Seed).SplitString("cdg-runner")
 
 	// Random sample phase (paper Section IV-D).
+	phSample := f.rec.PhaseStart("sampling", map[string]any{
+		"templates": f.cfg.SampleTemplates, "sims_each": f.cfg.SampleSims,
+	})
 	samples, samplePhase, err := f.samplePhase(skel, r.SplitString("sample"))
 	if err != nil {
+		phSample.End(nil)
 		return nil, err
 	}
-	bestX := bestSample(samples, target)
+	bestX, bestStart := bestSample(samples, target)
+	phSample.End(map[string]any{"best_score": bestStart})
 	report.Phases = append(report.Phases, PhaseStats{
 		Name:        "sampling",
 		Description: fmt.Sprintf("%d tests x %d sims each", f.cfg.SampleTemplates, f.cfg.SampleSims),
@@ -385,6 +416,10 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	// submitted as concurrent jobs on the environment's scheduler; batch
 	// seeds are assigned in point order, keeping the run bit-identical
 	// to sequential evaluation.
+	phOpt := f.rec.PhaseStart("optimization", map[string]any{
+		"iterations": f.cfg.OptIterations, "directions": f.cfg.OptDirections,
+		"sims_per_point": f.cfg.OptSims, "start_score": bestStart,
+	})
 	optPhase := coverage.NewCountsFor(model)
 	res, err := opt.ImplicitFiltering(nil, bestX, opt.Options{
 		Directions:       f.cfg.OptDirections,
@@ -397,10 +432,13 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		Hi:               float64(skel.MaxWeight()),
 		RNG:              r.SplitString("optimize"),
 		Batch:            f.batchObjective(skel, target, optPhase),
+		Recorder:         f.rec,
 	})
 	if err != nil {
+		phOpt.End(nil)
 		return nil, err
 	}
+	phOpt.End(map[string]any{"best": res.Value, "evals": res.Evals})
 	report.Progress = res.History
 	report.Phases = append(report.Phases, PhaseStats{
 		Name: "optimization",
@@ -412,12 +450,15 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	// Harvest (paper Section IV-F): measure the best template standalone.
 	f.round++
 	report.BestWeights = res.X
+	phHarvest := f.rec.PhaseStart("harvest", map[string]any{"sims": f.cfg.BestSims})
 	bestTemplate, err := skel.Instantiate(fmt.Sprintf("%s_cdg_best_%d", f.env.Unit().Name(), f.round), res.X)
 	if err != nil {
+		phHarvest.End(nil)
 		return nil, err
 	}
 	report.BestTemplate = bestTemplate
 	bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+	phHarvest.End(map[string]any{"template": bestTemplate.Name})
 	report.Phases = append(report.Phases, PhaseStats{
 		Name:        "best",
 		Description: fmt.Sprintf("%d sims", f.cfg.BestSims),
@@ -496,8 +537,9 @@ func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *cove
 	return samples, aggregate, nil
 }
 
-// bestSample returns the sampled point with the highest target score.
-func bestSample(samples []sample, target *neighbors.Target) []float64 {
+// bestSample returns the sampled point with the highest target score,
+// and that score.
+func bestSample(samples []sample, target *neighbors.Target) ([]float64, float64) {
 	best := samples[0].x
 	bestScore := target.Score(samples[0].counts)
 	for _, s := range samples[1:] {
@@ -506,7 +548,7 @@ func bestSample(samples []sample, target *neighbors.Target) []float64 {
 			best = s.x
 		}
 	}
-	return best
+	return best, bestScore
 }
 
 // MergeTemplates unions the parameters of the given templates (highest

@@ -50,14 +50,18 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 	}
 
 	// Shared coarse-grained search, driven by the union target.
+	phN := f.rec.PhaseStart("neighbors", map[string]any{"family": family, "decay": decay})
 	unionWS, err := neighbors.Ordinal(model, family, targets, decay)
+	phN.End(map[string]any{"targets": len(targets), "approx_events": len(unionWS)})
 	if err != nil {
 		return nil, err
 	}
 	union := neighbors.NewTarget(unionWS)
+	phTac := f.rec.PhaseStart("tac", map[string]any{"approx_events": union.Len()})
 	stats := tac.New(f.repo)
 	ranked, err := stats.BestTemplates(union.Events(), union.Weights(), 0)
 	if err != nil {
+		phTac.End(nil)
 		return nil, err
 	}
 	byName := map[string]*template.Template{}
@@ -80,22 +84,30 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			break
 		}
 	}
+	phTac.End(map[string]any{"chosen": len(chosen)})
 	if len(chosen) == 0 || chosenScores[0].Score == 0 {
 		return nil, fmt.Errorf("core: no existing template shows evidence for the family %q", family)
 	}
 	candidate := MergeTemplates(f.env.Unit().Name()+"_cdg_candidate", chosen)
+	phSkel := f.rec.PhaseStart("skeleton", map[string]any{"candidate": candidate.Name})
 	skel, err := skeleton.Skeletonize(candidate, skeleton.Options{
 		IncludeZeroWeights: f.cfg.IncludeZeroWeights,
 		Subranges:          f.cfg.Subranges,
 		Mode:               f.cfg.SubrangeMode,
 	})
 	if err != nil {
+		phSkel.End(nil)
 		return nil, err
 	}
+	phSkel.End(map[string]any{"dim": skel.Dim()})
 
 	// Shared random sampling.
+	phSample := f.rec.PhaseStart("sampling", map[string]any{
+		"templates": f.cfg.SampleTemplates, "sims_each": f.cfg.SampleSims,
+	})
 	r := rng.New(f.cfg.Seed).SplitString("cdg-runner-shared")
 	samples, sampleAggregate, err := f.samplePhase(skel, r.SplitString("sample"))
+	phSample.End(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +143,11 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 
 		perTargetStart := f.env.Simulations()
 		optPhase := coverage.NewCountsFor(model)
-		res, err := opt.ImplicitFiltering(nil, bestSample(samples, target), opt.Options{
+		x0, startScore := bestSample(samples, target)
+		phOpt := f.rec.PhaseStart("optimization", map[string]any{
+			"target": model.Name(ev), "start_score": startScore,
+		})
+		res, err := opt.ImplicitFiltering(nil, x0, opt.Options{
 			Directions:       f.cfg.OptDirections,
 			InitialStep:      f.cfg.InitialStep,
 			MinStep:          f.cfg.MinStep,
@@ -142,10 +158,13 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			Hi:               float64(skel.MaxWeight()),
 			RNG:              r.SplitString("optimize-" + model.Name(ev)),
 			Batch:            f.batchObjective(skel, target, optPhase),
+			Recorder:         f.rec,
 		})
 		if err != nil {
+			phOpt.End(nil)
 			return nil, err
 		}
+		phOpt.End(map[string]any{"best": res.Value, "evals": res.Evals})
 		report.Progress = res.History
 		report.Phases = append(report.Phases, PhaseStats{
 			Name: "optimization",
@@ -156,13 +175,18 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 
 		f.round++
 		report.BestWeights = res.X
+		phHarvest := f.rec.PhaseStart("harvest", map[string]any{
+			"target": model.Name(ev), "sims": f.cfg.BestSims,
+		})
 		bestTemplate, err := skel.Instantiate(
 			fmt.Sprintf("%s_cdg_%s_best", f.env.Unit().Name(), model.Name(ev)), res.X)
 		if err != nil {
+			phHarvest.End(nil)
 			return nil, err
 		}
 		report.BestTemplate = bestTemplate
 		bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+		phHarvest.End(map[string]any{"template": bestTemplate.Name})
 		report.Phases = append(report.Phases, PhaseStats{
 			Name:        "best",
 			Description: fmt.Sprintf("%d sims", f.cfg.BestSims),

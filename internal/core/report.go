@@ -75,6 +75,9 @@ func (r *Report) FormatProgress() string {
 		if maxVal > 0 {
 			bar = int(h.Best / maxVal * 40)
 		}
+		if bar < 0 {
+			bar = 0 // iterations below zero render an empty sparkline
+		}
 		moved := " "
 		if h.Moved {
 			moved = "*"

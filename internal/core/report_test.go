@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func TestFormatProgressSingleIteration(t *testing.T) {
+	r := &Report{Unit: "iounit", Progress: []opt.IterRecord{
+		{Iter: 1, Best: 0.75, Moved: true},
+	}}
+	out := r.FormatProgress()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 { // header + one iteration
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	// A single iteration is its own maximum: full 40-char sparkline.
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Fatalf("single iteration must render a full bar:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("moved iteration must be starred:\n%s", out)
+	}
+}
+
+func TestFormatProgressAllEqualValues(t *testing.T) {
+	r := &Report{Unit: "l3cache", Progress: []opt.IterRecord{
+		{Iter: 1, Best: 0.5}, {Iter: 2, Best: 0.5}, {Iter: 3, Best: 0.5},
+	}}
+	out := r.FormatProgress()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 iterations:\n%s", len(lines), out)
+	}
+	full := strings.Repeat("#", 40)
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, "|"+full) {
+			t.Fatalf("equal values must all render full bars:\n%s", out)
+		}
+	}
+}
+
+func TestFormatProgressAllZero(t *testing.T) {
+	r := &Report{Unit: "ifu", Progress: []opt.IterRecord{
+		{Iter: 1, Best: 0}, {Iter: 2, Best: 0},
+	}}
+	out := r.FormatProgress()
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero values must render empty bars:\n%s", out)
+	}
+}
+
+func TestFormatProgressNegativeValuesDoNotPanic(t *testing.T) {
+	// A below-zero iteration (possible for custom targets) must render
+	// an empty bar, not panic strings.Repeat with a negative count.
+	r := &Report{Unit: "noc", Progress: []opt.IterRecord{
+		{Iter: 1, Best: 0.4}, {Iter: 2, Best: -0.2},
+	}}
+	out := r.FormatProgress()
+	if !strings.Contains(out, "-0.2") {
+		t.Fatalf("negative value missing from output:\n%s", out)
+	}
+}

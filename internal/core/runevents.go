@@ -29,7 +29,9 @@ func (f *Flow) RunEvents(eventNames []string, minSim float64) (*Report, error) {
 	if err := f.ensureCorpus(); err != nil {
 		return nil, err
 	}
+	ph := f.rec.PhaseStart("neighbors", map[string]any{"min_sim": minSim})
 	ws, err := neighbors.Correlated(f.repo, targets, minSim)
+	ph.End(map[string]any{"targets": len(targets), "approx_events": len(ws)})
 	if err != nil {
 		return nil, err
 	}

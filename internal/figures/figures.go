@@ -20,6 +20,7 @@ import (
 	"repro/internal/duv/ifu"
 	"repro/internal/duv/iounit"
 	"repro/internal/duv/l3cache"
+	"repro/internal/obs"
 )
 
 // Options configure a figure run.
@@ -32,6 +33,11 @@ type Options struct {
 	// Rounds bounds the refinement rounds for family experiments
 	// (default 5; the flow stops early once the family is covered).
 	Rounds int
+	// Workers sizes each flow's simulation pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Obs, when non-nil, instruments every flow of the figure run
+	// (phase spans, scheduler metrics, optimizer progress events).
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +102,8 @@ func Fig3(opts Options) (*Result, error) {
 	unit := iounit.New()
 	cfg := core.Config{
 		Seed:                  opts.Seed,
+		Workers:               opts.Workers,
+		Obs:                   opts.Obs,
 		CorpusSimsPerTemplate: scaled(669000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -143,6 +151,8 @@ func Fig4(opts Options) (*Result, error) {
 	unit := l3cache.New()
 	cfg := core.Config{
 		Seed:                  opts.Seed,
+		Workers:               opts.Workers,
+		Obs:                   opts.Obs,
 		CorpusSimsPerTemplate: scaled(1000000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -190,6 +200,8 @@ func Fig5(opts Options) (*Result, error) {
 	unit := ifu.New()
 	cfg := core.Config{
 		Seed:                  opts.Seed,
+		Workers:               opts.Workers,
+		Obs:                   opts.Obs,
 		CorpusSimsPerTemplate: scaled(300000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          3,
 		Subranges:             4,

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry published through expvar. Debug servers may come and go
+// (tests start several), but expvar.Publish panics on duplicate names,
+// so the package publishes one Func exactly once and swaps the pointer
+// it reads.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("ascdg", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// DebugServer serves the debug HTTP endpoint:
+//
+//	/debug/vars     expvar (including the "ascdg" metrics snapshot)
+//	/debug/metrics  the registry snapshot alone, as JSON
+//	/debug/pprof/   net/http/pprof profiles (cpu, heap, goroutine, ...)
+//
+// It binds its own mux, so importing net/http/pprof's side effects on
+// http.DefaultServeMux are irrelevant and nothing is exposed unless
+// the operator opts in with -debug-addr.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (":0" picks a free port)
+// publishing reg. It returns once the listener is bound; serving
+// continues in the background until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.jobs").Add(42)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var snap Snapshot
+	if err := json.Unmarshal(get(t, base+"/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not JSON: %v", err)
+	}
+	if snap.Counters["sim.jobs"] != 42 {
+		t.Fatalf("metrics snapshot = %+v, want sim.jobs=42", snap)
+	}
+
+	vars := string(get(t, base+"/debug/vars"))
+	if !strings.Contains(vars, `"ascdg"`) {
+		t.Fatalf("/debug/vars missing the ascdg metrics var:\n%s", vars)
+	}
+	if !strings.Contains(vars, "sim.jobs") {
+		t.Fatalf("/debug/vars missing published counter:\n%s", vars)
+	}
+
+	pprofIndex := string(get(t, base+"/debug/pprof/"))
+	if !strings.Contains(pprofIndex, "goroutine") {
+		t.Fatalf("/debug/pprof/ index looks wrong:\n%s", pprofIndex)
+	}
+}
+
+func TestDebugServerRestart(t *testing.T) {
+	// Starting a second server (tests and repeated sessions do this)
+	// must not panic on duplicate expvar registration, and the expvar
+	// snapshot must follow the most recent registry.
+	for i := 0; i < 2; i++ {
+		reg := NewRegistry()
+		reg.Counter("restart.run").Add(uint64(i + 1))
+		srv, err := ServeDebug("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars := string(get(t, fmt.Sprintf("http://%s/debug/vars", srv.Addr())))
+		want := fmt.Sprintf(`"restart.run":%d`, i+1)
+		if !strings.Contains(vars, want) {
+			t.Fatalf("run %d: /debug/vars missing %q:\n%s", i, want, vars)
+		}
+		srv.Close()
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if again := r.Counter("c"); again != c {
+		t.Fatalf("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge value = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", SizeBounds())
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(10)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil handles must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty")
+	}
+	if r.Format() != "" {
+		t.Fatalf("nil registry Format must be empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{1, 5, 10, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+5+10+50+200+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// Buckets: <=10 holds {1,5,10}, <=100 holds {50}, <=1000 holds
+	// {200}, overflow holds {5000}.
+	want := []uint64{3, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %d, want 10 (bound of the median's bucket)", q)
+	}
+	// The top quantile falls in the overflow bucket: report observed max.
+	if q := h.Quantile(0.99); q != 5000 {
+		t.Fatalf("p99 = %d, want 5000 (observed max)", q)
+	}
+	if h.Quantile(0.0) != 10 {
+		t.Fatalf("q=0 should clamp to the first observation's bucket")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram([]uint64{10})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(SizeBounds())
+	var wg sync.WaitGroup
+	const goroutines, n = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				h.Observe(uint64(g*n + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*n {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*n)
+	}
+	if h.max.Load() != goroutines*n-1 {
+		t.Fatalf("max = %d, want %d", h.max.Load(), goroutines*n-1)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1, 2, 4)
+	want := []uint64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+	if z := ExpBounds(0, 2, 2); z[0] != 1 {
+		t.Fatalf("start 0 must clamp to 1, got %d", z[0])
+	}
+}
+
+func TestSnapshotAndFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs").Add(3)
+	r.Gauge("queue").Set(2)
+	h := r.Histogram("lat", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	snap := r.Snapshot()
+	if snap.Counters["jobs"] != 3 || snap.Gauges["queue"] != 2 {
+		t.Fatalf("snapshot scalars wrong: %+v", snap)
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Count != 2 || hs.Sum != 55 || hs.Max != 50 {
+		t.Fatalf("snapshot histogram wrong: %+v", hs)
+	}
+	if len(hs.Buckets) != len(hs.Bounds)+1 {
+		t.Fatalf("snapshot must carry the overflow bucket")
+	}
+
+	out := r.Format()
+	for _, want := range []string{"metrics summary", "jobs", "queue", "lat", "count=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundsAreSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{100, 1, 10})
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i-1] >= h.bounds[i] {
+			t.Fatalf("bounds not sorted: %v", h.bounds)
+		}
+	}
+	// A second lookup with different bounds keeps the original layout.
+	h2 := r.Histogram("h", []uint64{7})
+	if h2 != h {
+		t.Fatalf("second histogram lookup must return the original")
+	}
+}

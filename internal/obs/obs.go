@@ -1,0 +1,110 @@
+package obs
+
+// Recorder bundles the three observability sinks — metrics, trace, and
+// progress — behind one nil-safe handle that instrumented code threads
+// through the flow. Any field may be nil to disable that sink; a nil
+// *Recorder disables everything. All accessors below are safe on a nil
+// receiver and return nil (no-op) handles, so instrumentation sites
+// never branch on whether observability is on.
+type Recorder struct {
+	Metrics  *Registry
+	Trace    *Tracer
+	Progress *Progress
+}
+
+// NewRecorder returns a recorder with all three sinks enabled (the
+// progress sink discards; tests and benchmarks that want a live stream
+// set Progress themselves).
+func NewRecorder() *Recorder {
+	return &Recorder{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Counter returns the named counter handle (nil if metrics are off).
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge handle (nil if metrics are off).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram handle (nil if metrics are
+// off).
+func (r *Recorder) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Histogram(name, bounds)
+}
+
+// Span starts a trace span (nil no-op span if tracing is off).
+func (r *Recorder) Span(cat, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.Trace.Span(cat, name)
+}
+
+// Emit writes one progress event (no-op if the progress stream is
+// off).
+func (r *Recorder) Emit(event string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	r.Progress.Emit(event, fields)
+}
+
+// Phase is one in-flight flow phase: a trace span plus the
+// phase_start/phase_end progress event pair. A nil *Phase is a valid
+// no-op.
+type Phase struct {
+	r    *Recorder
+	name string
+	span *Span
+}
+
+// PhaseStart begins a named flow phase (corpus, neighbors, tac,
+// skeleton, sampling, optimization, harvest): it opens a "phase"
+// category span and emits a phase_start progress event carrying args.
+// End the phase with Phase.End.
+func (r *Recorder) PhaseStart(name string, args map[string]any) *Phase {
+	if r == nil {
+		return nil
+	}
+	span := r.Span("phase", name)
+	for k, v := range args {
+		span.SetArg(k, v)
+	}
+	fields := make(map[string]any, len(args)+1)
+	for k, v := range args {
+		fields[k] = v
+	}
+	fields["phase"] = name
+	r.Emit("phase_start", fields)
+	return &Phase{r: r, name: name, span: span}
+}
+
+// End completes the phase, attaching args to both the span and the
+// phase_end progress event.
+func (p *Phase) End(args map[string]any) {
+	if p == nil {
+		return
+	}
+	for k, v := range args {
+		p.span.SetArg(k, v)
+	}
+	p.span.End()
+	fields := make(map[string]any, len(args)+1)
+	for k, v := range args {
+		fields[k] = v
+	}
+	fields["phase"] = p.name
+	p.r.Emit("phase_end", fields)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Counter("c") != nil || r.Gauge("g") != nil ||
+		r.Histogram("h", SizeBounds()) != nil || r.Span("cat", "s") != nil {
+		t.Fatalf("nil recorder must hand out nil handles")
+	}
+	r.Emit("e", nil)
+	ph := r.PhaseStart("corpus", map[string]any{"k": 1})
+	if ph != nil {
+		t.Fatalf("nil recorder must return a nil phase")
+	}
+	ph.End(map[string]any{"k": 2}) // must not panic
+}
+
+func TestPhaseRecordsSpanAndEvents(t *testing.T) {
+	var buf bytes.Buffer
+	rec := &Recorder{
+		Metrics:  NewRegistry(),
+		Trace:    NewTracer(),
+		Progress: NewProgress(&buf),
+	}
+	ph := rec.PhaseStart("sampling", map[string]any{"templates": 50})
+	ph.End(map[string]any{"best_score": 0.5})
+
+	events := rec.Trace.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d trace events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Name != "sampling" || ev.Cat != "phase" {
+		t.Fatalf("bad span: %+v", ev)
+	}
+	if ev.Args["templates"] != 50 || ev.Args["best_score"] != 0.5 {
+		t.Fatalf("phase args must merge start and end: %+v", ev.Args)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want phase_start + phase_end:\n%s", len(lines), buf.String())
+	}
+	var start, end map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &start); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &end); err != nil {
+		t.Fatal(err)
+	}
+	if start["event"] != "phase_start" || start["phase"] != "sampling" {
+		t.Fatalf("bad phase_start: %v", start)
+	}
+	if end["event"] != "phase_end" || end["best_score"] != 0.5 {
+		t.Fatalf("bad phase_end: %v", end)
+	}
+}
+
+func TestRecorderWithPartialSinks(t *testing.T) {
+	// Metrics only: spans and events are no-ops, counters work.
+	rec := &Recorder{Metrics: NewRegistry()}
+	rec.Counter("c").Inc()
+	if rec.Span("cat", "s") != nil {
+		t.Fatalf("span must be nil when tracing is off")
+	}
+	rec.Emit("e", nil)
+	ph := rec.PhaseStart("tac", nil)
+	ph.End(nil)
+	if got := rec.Metrics.Snapshot().Counters["c"]; got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a structured JSONL event stream: one JSON object per
+// line, written as events happen, so a long run can be watched live
+// (`ascdg -progress 2>events.jsonl`, or pipe stderr through jq). Every
+// event carries "event" (its kind) and "t_ms" (milliseconds since the
+// stream started); the emitter's fields follow. Encoding happens under
+// a mutex — emission sites are phase transitions and optimizer
+// iterations, never the per-simulation hot path. A nil *Progress is a
+// valid no-op.
+type Progress struct {
+	epoch time.Time
+
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewProgress creates a progress stream writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{epoch: time.Now(), enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line. fields may be nil; the reserved keys
+// "event" and "t_ms" are overwritten if present.
+func (p *Progress) Emit(event string, fields map[string]any) {
+	if p == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	rec["t_ms"] = time.Since(p.epoch).Milliseconds()
+	p.mu.Lock()
+	// Encode errors (closed pipe, full disk) are deliberately dropped:
+	// progress is best-effort and must never fail the run.
+	_ = p.enc.Encode(rec)
+	p.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestProgressEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.Emit("phase_start", map[string]any{"phase": "corpus", "sims": 10})
+	p.Emit("opt_iter", nil)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if first["event"] != "phase_start" || first["phase"] != "corpus" {
+		t.Fatalf("bad first event: %v", first)
+	}
+	if _, ok := first["t_ms"]; !ok {
+		t.Fatalf("missing t_ms: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if second["event"] != "opt_iter" {
+		t.Fatalf("bad second event: %v", second)
+	}
+}
+
+func TestProgressReservedKeysWin(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.Emit("real", map[string]any{"event": "forged", "t_ms": "forged"})
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "real" {
+		t.Fatalf("reserved key overwritten: %v", rec)
+	}
+	if _, ok := rec["t_ms"].(float64); !ok {
+		t.Fatalf("t_ms must be numeric: %v", rec)
+	}
+}
+
+func TestNilProgressIsNoOp(t *testing.T) {
+	var p *Progress
+	p.Emit("x", map[string]any{"k": 1}) // must not panic
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Config selects which observability sinks a CLI run enables — the
+// direct image of the shared -trace / -progress / -metrics /
+// -debug-addr flags.
+type Config struct {
+	// TracePath, when non-empty, collects spans and writes them as
+	// Chrome trace-event JSON to this file at Close.
+	TracePath string
+	// ProgressW, when non-nil, receives the JSONL progress stream
+	// (CLIs pass their stderr).
+	ProgressW io.Writer
+	// MetricsDump prints the final metrics summary at Close.
+	MetricsDump bool
+	// DebugAddr, when non-empty, serves /debug/vars, /debug/metrics
+	// and /debug/pprof on this address for the duration of the run.
+	DebugAddr string
+}
+
+func (c Config) enabled() bool {
+	return c.TracePath != "" || c.ProgressW != nil || c.MetricsDump || c.DebugAddr != ""
+}
+
+// Session is one CLI run's observability: the recorder to thread into
+// the flow plus the teardown that flushes files and stops the debug
+// server. A fully disabled session has a nil Recorder, so an
+// uninstrumented run stays zero-cost.
+type Session struct {
+	rec       *Recorder
+	srv       *DebugServer
+	tracePath string
+	dump      bool
+	w         io.Writer
+}
+
+// StartSession builds a recorder per cfg; summaries and the metrics
+// dump go to w. When no sink is enabled the session's Recorder is nil.
+func StartSession(cfg Config, w io.Writer) (*Session, error) {
+	s := &Session{w: w}
+	if !cfg.enabled() {
+		return s, nil
+	}
+	s.rec = &Recorder{Metrics: NewRegistry()}
+	s.tracePath = cfg.TracePath
+	s.dump = cfg.MetricsDump
+	if cfg.TracePath != "" {
+		s.rec.Trace = NewTracer()
+	}
+	if cfg.ProgressW != nil {
+		s.rec.Progress = NewProgress(cfg.ProgressW)
+	}
+	if cfg.DebugAddr != "" {
+		srv, err := ServeDebug(cfg.DebugAddr, s.rec.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("obs: debug server: %w", err)
+		}
+		s.srv = srv
+		fmt.Fprintf(w, "debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
+	return s, nil
+}
+
+// Recorder returns the session's recorder — nil when every sink is
+// disabled, which instrumented code treats as "observability off".
+func (s *Session) Recorder() *Recorder { return s.rec }
+
+// DebugAddr returns the bound debug-server address ("" when disabled).
+func (s *Session) DebugAddr() string {
+	if s.srv == nil {
+		return ""
+	}
+	return s.srv.Addr()
+}
+
+// Close flushes the trace file, prints the metrics dump, and stops the
+// debug server. It returns the first error (trace-file I/O); the run's
+// results are unaffected either way.
+func (s *Session) Close() error {
+	var first error
+	if s.srv != nil {
+		if err := s.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.srv = nil
+	}
+	if s.tracePath != "" && s.rec != nil {
+		f, err := os.Create(s.tracePath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			if err := s.rec.Trace.Export(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.tracePath = ""
+	}
+	if s.dump && s.rec != nil {
+		fmt.Fprint(s.w, s.rec.Metrics.Format())
+		s.dump = false
+	}
+	return first
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDisabledSessionHasNilRecorder(t *testing.T) {
+	var out bytes.Buffer
+	sess, err := StartSession(Config{}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Recorder() != nil {
+		t.Fatalf("fully disabled session must have a nil recorder")
+	}
+	if sess.DebugAddr() != "" {
+		t.Fatalf("no debug server expected")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("disabled session must not write anything, got %q", out.String())
+	}
+}
+
+func TestSessionWritesTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	sess, err := StartSession(Config{TracePath: path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sess.Recorder()
+	if rec == nil || rec.Trace == nil || rec.Metrics == nil {
+		t.Fatalf("trace session must enable tracer and registry")
+	}
+	ph := rec.PhaseStart("corpus", nil)
+	ph.End(nil)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	if len(events) != 1 || events[0].Name != "corpus" {
+		t.Fatalf("bad trace file contents: %+v", events)
+	}
+}
+
+func TestSessionMetricsDump(t *testing.T) {
+	var out bytes.Buffer
+	sess, err := StartSession(Config{MetricsDump: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Recorder().Counter("sim.jobs").Add(2)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sim.jobs") {
+		t.Fatalf("metrics dump missing counter:\n%s", out.String())
+	}
+}
+
+func TestSessionProgressStream(t *testing.T) {
+	var progress, out bytes.Buffer
+	sess, err := StartSession(Config{ProgressW: &progress}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Recorder().Emit("hello", nil)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), `"event":"hello"`) {
+		t.Fatalf("progress stream missing event:\n%s", progress.String())
+	}
+}
+
+func TestSessionDebugServer(t *testing.T) {
+	var out bytes.Buffer
+	sess, err := StartSession(Config{DebugAddr: "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.DebugAddr()
+	if addr == "" {
+		t.Fatalf("debug server did not bind")
+	}
+	if !strings.Contains(out.String(), addr) {
+		t.Fatalf("startup banner missing bound address %q:\n%s", addr, out.String())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCloseReportsTraceError(t *testing.T) {
+	var out bytes.Buffer
+	sess, err := StartSession(Config{TracePath: filepath.Join(t.TempDir(), "missing", "out.json")}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err == nil {
+		t.Fatalf("Close must report an unwritable trace path")
+	}
+}

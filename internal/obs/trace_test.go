@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Span("phase", "corpus")
+	s.SetArg("sims", 100)
+	s.End()
+	w := tr.Span("sim", "chunk").WithTid(105)
+	w.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	ev := events[0]
+	if ev.Name != "corpus" || ev.Cat != "phase" || ev.Ph != "X" || ev.Pid != 1 || ev.Tid != 1 {
+		t.Fatalf("bad phase event: %+v", ev)
+	}
+	if ev.Args["sims"] != 100 {
+		t.Fatalf("args not recorded: %+v", ev.Args)
+	}
+	if ev.Dur < 0 || ev.Ts < 0 {
+		t.Fatalf("negative timestamps: %+v", ev)
+	}
+	if events[1].Tid != 105 {
+		t.Fatalf("WithTid not honored: %+v", events[1])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTracerExportIsValidChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("phase", "sampling").End()
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 1 || events[0].Ph != "X" {
+		t.Fatalf("bad decoded events: %+v", events)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Span("phase", "x")
+	if s != nil {
+		t.Fatalf("nil tracer must return a nil span")
+	}
+	s.SetArg("k", 1)
+	s = s.WithTid(7)
+	s.End()
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer must read as empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil tracer must still write a valid empty trace, got %q", buf.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -70,6 +71,12 @@ type Options struct {
 	// points as one call (stencil optimizers only: ImplicitFiltering and
 	// CompassSearch). The per-point Objective argument may then be nil.
 	Batch BatchObjective
+	// Recorder, when non-nil, streams one opt_iter progress event per
+	// iteration (including best-objective-so-far, the paper's Fig. 6
+	// series, watchable live) and counts evals, step halvings, and
+	// center resamples into the metrics registry. Purely observational:
+	// the trajectory is identical with it set or nil.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -128,9 +135,10 @@ func clampTo(x []float64, lo, hi float64) {
 // budget-counting interface so the stencil optimizers are agnostic to
 // which the caller supplied.
 type evaluator struct {
-	f     Objective
-	batch BatchObjective
-	evals int
+	f      Objective
+	batch  BatchObjective
+	evals  int
+	mEvals *obs.Counter // live eval counter (nil-safe)
 }
 
 // all evaluates every point, in order, counting one eval per point.
@@ -139,6 +147,7 @@ func (e *evaluator) all(points [][]float64) []float64 {
 		return nil
 	}
 	e.evals += len(points)
+	e.mEvals.Add(uint64(len(points)))
 	if e.batch != nil {
 		return e.batch(points)
 	}
@@ -172,6 +181,40 @@ func historyCap(n int) int {
 		return limit
 	}
 	return n
+}
+
+// optObs bundles the stencil optimizers' instrumentation: counters for
+// the convergence-relevant events plus the per-iteration opt_iter
+// progress record. Every handle and method is nil-safe, so the
+// optimizers call them unconditionally.
+type optObs struct {
+	rec       *obs.Recorder
+	iters     *obs.Counter
+	halvings  *obs.Counter
+	resamples *obs.Counter
+}
+
+func newOptObs(rec *obs.Recorder) optObs {
+	return optObs{
+		rec:       rec,
+		iters:     rec.Counter("opt.iterations"),
+		halvings:  rec.Counter("opt.step_halvings"),
+		resamples: rec.Counter("opt.center_resamples"),
+	}
+}
+
+// iter records one completed iteration: the live Fig. 6 sample.
+func (o optObs) iter(method string, h IterRecord, bestSoFar float64) {
+	o.iters.Inc()
+	o.rec.Emit("opt_iter", map[string]any{
+		"method":      method,
+		"iter":        h.Iter,
+		"best":        h.Best,
+		"best_so_far": bestSoFar,
+		"step":        h.Step,
+		"moved":       h.Moved,
+		"evals":       h.Evals,
+	})
 }
 
 // randomDirection draws a uniform direction on the unit sphere.
@@ -215,7 +258,8 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 	center := append([]float64(nil), x0...)
 	clampTo(center, opts.Lo, opts.Hi)
 
-	ev := &evaluator{f: f, batch: opts.Batch}
+	ev := &evaluator{f: f, batch: opts.Batch, mEvals: opts.Recorder.Counter("opt.evals")}
+	oo := newOptObs(opts.Recorder)
 
 	h := opts.InitialStep
 	best := ev.one(center)
@@ -227,8 +271,10 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 		if ev.remaining(opts.MaxEvals) <= 0 {
 			break
 		}
+		sp := opts.Recorder.Span("opt", "iteration")
 		if !opts.NoResampleCenter {
 			best = ev.one(center)
+			oo.resamples.Inc()
 		}
 		iterBest := best
 		nextCenter := center
@@ -261,12 +307,21 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 			best = iterBest
 		} else {
 			h /= 2
+			oo.halvings.Inc()
 		}
 		if iterBest > overallBest {
 			overallBest = iterBest
 			overallX = append([]float64(nil), nextCenter...)
 		}
-		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals})
+		rec := IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals}
+		history = append(history, rec)
+		if sp != nil {
+			sp.SetArg("iter", iter)
+			sp.SetArg("best", iterBest)
+			sp.SetArg("moved", moved)
+			sp.End()
+		}
+		oo.iter("implicit_filtering", rec, overallBest)
 
 		if opts.TargetValue > 0 && overallBest >= opts.TargetValue {
 			break
@@ -334,7 +389,8 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 	center := append([]float64(nil), x0...)
 	clampTo(center, opts.Lo, opts.Hi)
 
-	ev := &evaluator{f: f, batch: opts.Batch}
+	ev := &evaluator{f: f, batch: opts.Batch, mEvals: opts.Recorder.Counter("opt.evals")}
+	oo := newOptObs(opts.Recorder)
 	h := opts.InitialStep
 	best := ev.one(center)
 	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
@@ -345,6 +401,7 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 		}
 		if !opts.NoResampleCenter {
 			best = ev.one(center)
+			oo.resamples.Inc()
 		}
 		iterBest := best
 		nextCenter := center
@@ -377,8 +434,11 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 			best = iterBest
 		} else {
 			h /= 2
+			oo.halvings.Inc()
 		}
-		history = append(history, IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals})
+		rec := IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals}
+		history = append(history, rec)
+		oo.iter("compass_search", rec, best)
 		if opts.TargetValue > 0 && best >= opts.TargetValue {
 			break
 		}

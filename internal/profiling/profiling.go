@@ -13,9 +13,12 @@ import (
 
 // Start begins CPU profiling to cpuPath (if non-empty) and returns a
 // stop function that ends the CPU profile and writes a heap profile to
-// memPath (if non-empty). The stop function must be called exactly once,
-// normally via defer, after the profiled work is done.
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// memPath (if non-empty). The stop function must be called exactly
+// once, normally via defer, after the profiled work is done; it
+// returns the first error hit while finishing the profiles (heap file
+// creation or write) so callers report it on their own stderr instead
+// of this package writing to the process's.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -27,22 +30,25 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
 		}
 	}
-	return func() {
+	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+			cpuFile = nil
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "profiling: create mem profile: %v\n", err)
-				return
+				return fmt.Errorf("profiling: create mem profile: %w", err)
 			}
 			defer f.Close()
 			runtime.GC() // flush unreachable objects so the heap profile reflects live memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "profiling: write mem profile: %v\n", err)
+				return fmt.Errorf("profiling: write mem profile: %w", err)
 			}
 		}
+		return nil
 	}, nil
 }

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/generator"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -50,6 +53,53 @@ type Scheduler struct {
 	tasks   chan chunk
 	start   sync.Once
 	stop    sync.Once
+	obs     *schedObs
+}
+
+// schedObs holds the scheduler's pre-resolved metric handles so the
+// worker loop updates them with plain atomic ops — no registry lookups,
+// no locks — and a disabled run (obs == nil) pays one pointer check per
+// chunk. Purely observational: results and seeding are untouched.
+type schedObs struct {
+	tracer    *obs.Tracer
+	jobs      *obs.Counter // jobs submitted
+	jobsDone  *obs.Counter // jobs fully completed
+	chunks    *obs.Counter // chunks completed
+	instances *obs.Counter // test-instances simulated
+	queue     *obs.Gauge   // chunks queued but not yet picked up
+	chunkNs   *obs.Histogram
+	chunkSize *obs.Histogram
+	simNs     *obs.Histogram // per-instance latency (chunk mean)
+	busy      []*obs.Counter // per-worker busy nanoseconds
+}
+
+func newSchedObs(rec *obs.Recorder, workers int) *schedObs {
+	if rec == nil || (rec.Metrics == nil && rec.Trace == nil) {
+		return nil
+	}
+	o := &schedObs{
+		tracer:    rec.Trace,
+		jobs:      rec.Counter("sim.jobs_submitted"),
+		jobsDone:  rec.Counter("sim.jobs_completed"),
+		chunks:    rec.Counter("sim.chunks_completed"),
+		instances: rec.Counter("sim.instances_completed"),
+		queue:     rec.Gauge("sim.queue_depth"),
+		chunkNs:   rec.Histogram("sim.chunk_ns", obs.LatencyBounds()),
+		chunkSize: rec.Histogram("sim.chunk_size", obs.SizeBounds()),
+		simNs:     rec.Histogram("sim.sim_ns", obs.LatencyBounds()),
+		busy:      make([]*obs.Counter, workers),
+	}
+	for w := range o.busy {
+		o.busy[w] = rec.Counter(fmt.Sprintf("sim.worker.%02d.busy_ns", w))
+	}
+	return o
+}
+
+// setRecorder installs the scheduler's observability. It must be called
+// before the first job is enqueued (workers start lazily, so the
+// handles are published to them by the pool-start synchronization).
+func (s *Scheduler) setRecorder(rec *obs.Recorder) {
+	s.obs = newSchedObs(rec, s.workers)
 }
 
 // newScheduler sizes a pool with the given worker count (>= 1). The task
@@ -67,7 +117,7 @@ func newScheduler(workers int) *Scheduler {
 func (s *Scheduler) enqueue(j *Job, n int) {
 	s.start.Do(func() {
 		for w := 0; w < s.workers; w++ {
-			go s.work()
+			go s.work(w)
 		}
 	})
 	// Shard into at most 2 chunks per worker, at least 8 instances per
@@ -78,12 +128,28 @@ func (s *Scheduler) enqueue(j *Job, n int) {
 	}
 	chunks := (n + size - 1) / size
 	j.pending.Store(int64(chunks))
+	o := s.obs
+	o.countJob()
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {
 			hi = n
 		}
+		o.countEnqueue()
 		s.tasks <- chunk{job: j, lo: lo, hi: hi}
+	}
+}
+
+// countJob / countEnqueue are nil-safe submission-side hooks.
+func (o *schedObs) countJob() {
+	if o != nil {
+		o.jobs.Inc()
+	}
+}
+
+func (o *schedObs) countEnqueue() {
+	if o != nil {
+		o.queue.Add(1)
 	}
 }
 
@@ -91,21 +157,53 @@ func (s *Scheduler) enqueue(j *Job, n int) {
 // merge it into the job, and complete the job when its last chunk lands.
 // Counts merging is commutative, so completion order does not affect the
 // result.
-func (s *Scheduler) work() {
+func (s *Scheduler) work(id int) {
 	for t := range s.tasks {
-		j := t.job
-		local := coverage.NewCounts(j.total.Len())
-		for i := t.lo; i < t.hi; i++ {
-			g := generator.NewFromPlan(j.plan, j.seed.SplitIndex(uint64(i)).Uint64())
-			local.Add(j.unit.Simulate(g))
+		o := s.obs
+		if o == nil {
+			s.runChunk(t)
+			continue
 		}
-		j.mu.Lock()
-		j.total.Merge(local)
-		j.mu.Unlock()
-		if j.pending.Add(-1) == 0 {
-			close(j.done)
+		o.queue.Add(-1)
+		sp := o.tracer.Span("sim", "chunk").WithTid(100 + id)
+		start := time.Now()
+		completed := s.runChunk(t)
+		dur := time.Since(start)
+		n := uint64(t.hi - t.lo)
+		if sp != nil {
+			sp.SetArg("instances", n)
+			sp.End()
+		}
+		o.busy[id].Add(uint64(dur))
+		o.chunkNs.Observe(uint64(dur))
+		o.chunkSize.Observe(n)
+		o.simNs.Observe(uint64(dur) / n)
+		o.chunks.Inc()
+		o.instances.Add(n)
+		if completed {
+			o.jobsDone.Inc()
 		}
 	}
+}
+
+// runChunk simulates one chunk and reports whether it completed its
+// job. This is the simulate hot path: it takes no locks beyond the
+// job's final merge and touches no observability state.
+func (s *Scheduler) runChunk(t chunk) bool {
+	j := t.job
+	local := coverage.NewCounts(j.total.Len())
+	for i := t.lo; i < t.hi; i++ {
+		g := generator.NewFromPlan(j.plan, j.seed.SplitIndex(uint64(i)).Uint64())
+		local.Add(j.unit.Simulate(g))
+	}
+	j.mu.Lock()
+	j.total.Merge(local)
+	j.mu.Unlock()
+	if j.pending.Add(-1) == 0 {
+		close(j.done)
+		return true
+	}
+	return false
 }
 
 // Close shuts the pool down; idle workers exit after finishing queued

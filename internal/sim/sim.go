@@ -26,6 +26,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/generator"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/template"
 )
@@ -39,6 +40,11 @@ type Env struct {
 	sims     atomic.Uint64
 	defaults generator.Defaults
 	sched    *Scheduler
+
+	// Observability handles (nil when disabled; all nil-safe).
+	mBatches   *obs.Counter
+	mInstances *obs.Counter // sequential-path instances (the scheduler counts its own)
+	hBatchSize *obs.Histogram
 
 	planMu sync.RWMutex
 	plans  map[*template.Template]*generator.Plan
@@ -58,6 +64,19 @@ func NewEnv(unit duv.DUV, seed uint64, workers int) *Env {
 		sched:    newScheduler(workers),
 		plans:    map[*template.Template]*generator.Plan{},
 	}
+}
+
+// SetRecorder installs the environment's observability. It must be
+// called before the first simulation is requested (the worker pool
+// starts lazily on the first job, which publishes the handles to the
+// workers). A nil recorder — the default — keeps every simulate path
+// free of clocks and atomics. Instrumentation is purely observational:
+// seeding, sharding, and merge order are identical with it on or off.
+func (e *Env) SetRecorder(rec *obs.Recorder) {
+	e.mBatches = rec.Counter("sim.batches_submitted")
+	e.mInstances = rec.Counter("sim.instances_completed")
+	e.hBatchSize = rec.Histogram("sim.batch_size", obs.SizeBounds())
+	e.sched.setRecorder(rec)
 }
 
 // Close releases the environment's worker pool. No simulation may be
@@ -116,6 +135,8 @@ func (e *Env) Submit(tmpl *template.Template, n int) *Job {
 		return job
 	}
 	e.sims.Add(uint64(n))
+	e.mBatches.Inc()
+	e.hBatchSize.Observe(uint64(n))
 	e.sched.enqueue(job, n)
 	return job
 }
@@ -137,6 +158,9 @@ func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
 	}
 	if n > 0 {
 		e.sims.Add(uint64(n))
+		e.mBatches.Inc()
+		e.mInstances.Add(uint64(n))
+		e.hBatchSize.Observe(uint64(n))
 	}
 	return c
 }
