@@ -11,6 +11,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/duv/iounit"
 	"repro/internal/duv/l3cache"
 	"repro/internal/duv/noc"
+	"repro/internal/farm"
 	"repro/internal/figures"
 	"repro/internal/generator"
 	"repro/internal/neighbors"
@@ -33,6 +35,32 @@ import (
 
 // benchScale keeps figure benches at ~1/50 of paper corpus scale.
 const benchScale = 0.02
+
+// mustRun / mustSubmit / mustCorpus panic on error: every bench drives
+// an open environment, where these paths cannot fail.
+func mustRun(env *sim.Env, tmpl *template.Template, n int) *coverage.Counts {
+	c, err := env.Run(tmpl, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustSubmit(env *sim.Env, tmpl *template.Template, n int) *sim.Job {
+	job, err := env.Submit(tmpl, n)
+	if err != nil {
+		panic(err)
+	}
+	return job
+}
+
+func mustCorpus(env *sim.Env, sims int) *coverage.Repository {
+	repo, err := env.BuildCorpus(sims)
+	if err != nil {
+		panic(err)
+	}
+	return repo
+}
 
 // BenchmarkFig3IOUnit regenerates the paper's Fig. 3 (I/O unit crc_*
 // family across the four phases). Metrics: crc_032/crc_064 hit rates of
@@ -132,7 +160,7 @@ func ablationSetup(b *testing.B, seed uint64) *ablationFixture {
 	b.Helper()
 	unit := l3cache.New()
 	env := sim.NewEnv(unit, seed, 0)
-	repo := env.BuildCorpus(800)
+	repo := mustCorpus(env, 800)
 	model := unit.Model()
 	fam, _ := model.Family(l3cache.FamilyName)
 	var targets []int
@@ -180,7 +208,7 @@ func ablationSetup(b *testing.B, seed uint64) *ablationFixture {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if score := target.Score(env.Run(tmpl, 50)); score > bestScore {
+		if score := target.Score(mustRun(env, tmpl, 50)); score > bestScore {
 			bestScore, x0 = score, x
 		}
 	}
@@ -195,7 +223,7 @@ func (f *ablationFixture) objective(simsPerPoint int) opt.Objective {
 		if err != nil {
 			panic(err)
 		}
-		return f.target.Score(f.env.Run(tmpl, simsPerPoint))
+		return f.target.Score(mustRun(f.env, tmpl, simsPerPoint))
 	}
 }
 
@@ -206,7 +234,7 @@ func (f *ablationFixture) trueValue(x []float64) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return f.target.Score(f.env.Run(tmpl, 2000))
+	return f.target.Score(mustRun(f.env, tmpl, 2000))
 }
 
 // BenchmarkAblationSamplesPerPoint varies N, the sims per objective
@@ -316,7 +344,7 @@ func BenchmarkAblationRawTarget(b *testing.B) {
 					if err != nil {
 						panic(err)
 					}
-					return objTarget.Score(fix.env.Run(tmpl, 100))
+					return objTarget.Score(mustRun(fix.env, tmpl, 100))
 				}
 				res, err := opt.ImplicitFiltering(obj, fix.x0, opt.Options{
 					Directions: 11, MaxIterations: 8, RNG: rng.New(uint64(i + 7)),
@@ -357,7 +385,7 @@ func BenchmarkAblationWeightedTarget(b *testing.B) {
 					if err != nil {
 						panic(err)
 					}
-					return objTarget.Score(fix.env.Run(tmpl, 100))
+					return objTarget.Score(mustRun(fix.env, tmpl, 100))
 				}
 				res, err := opt.ImplicitFiltering(obj, fix.x0, opt.Options{
 					Directions: 11, MaxIterations: 8, RNG: rng.New(uint64(i + 7)),
@@ -372,7 +400,7 @@ func BenchmarkAblationWeightedTarget(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				counts := fix.env.Run(tmpl, 2000)
+				counts := mustRun(fix.env, tmpl, 2000)
 				deep := 0.0
 				for _, id := range fam[8:] {
 					deep += counts.HitRate(id)
@@ -525,7 +553,7 @@ func BenchmarkCoverageVectorOps(b *testing.B) {
 func BenchmarkTACBestTemplates(b *testing.B) {
 	unit := iounit.New()
 	env := sim.NewEnv(unit, 1, 0)
-	repo := env.BuildCorpus(200)
+	repo := mustCorpus(env, 200)
 	stats := tac.New(repo)
 	fam, _ := unit.Model().Family(iounit.FamilyName)
 	b.ResetTimer()
@@ -582,7 +610,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		defer env.Close()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = env.Run(tmpl, batch)
+			_ = mustRun(env, tmpl, batch)
 		}
 		report(b)
 	})
@@ -591,7 +619,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		defer env.Close()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = env.Submit(tmpl, batch).Wait()
+			_ = mustSubmit(env, tmpl, batch).Wait()
 		}
 		report(b)
 	})
@@ -603,7 +631,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		env.SetRecorder(obs.NewRecorder())
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = env.Submit(tmpl, batch).Wait()
+			_ = mustSubmit(env, tmpl, batch).Wait()
 		}
 		report(b)
 	})
@@ -616,7 +644,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			jobs := make([]*sim.Job, 4)
 			for j := range jobs {
-				jobs[j] = env.Submit(tmpl, batch/4)
+				jobs[j] = mustSubmit(env, tmpl, batch/4)
 			}
 			for _, j := range jobs {
 				_ = j.Wait()
@@ -624,6 +652,35 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		}
 		report(b)
 	})
+}
+
+func BenchmarkFarmLoopback(b *testing.B) {
+	// The full farm RPC path — frame codec, dispatcher pooling, server
+	// execution — over the in-memory loopback transport, so the number
+	// is pure protocol + scheduling overhead with no real network.
+	unit := iounit.New()
+	tmpl := unit.BaseTemplates()[0]
+	const batch = 256
+	lb := farm.NewLoopback()
+	addrs := []string{"bench-w0", "bench-w1"}
+	for _, addr := range addrs {
+		srv := farm.NewServer(farm.ServerOptions{Capacity: 2})
+		defer srv.Shutdown()
+		lb.Add(addr, srv, farm.Faults{})
+	}
+	d := farm.New(addrs, farm.Options{Dial: lb.Dial})
+	defer d.Close()
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	env := sim.NewEnv(unit, 1, 0)
+	defer env.Close()
+	env.AttachRunner(d, d.Lanes())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = mustSubmit(env, tmpl, batch).Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sim")
 }
 
 func BenchmarkSimulateNoC(b *testing.B) {

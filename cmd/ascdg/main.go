@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -26,6 +27,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 )
@@ -54,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	loadRepo := fs.String("load-repo", "", "load the Before-CDG corpus from this JSON file instead of simulating")
 	saveRepo := fs.String("save-repo", "", "save the (possibly updated) coverage repository to this JSON file")
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -118,6 +121,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BestSims:              *bestSims,
 		Workers:               *workers,
 		Obs:                   sess.Recorder(),
+	}
+	if *farmAddrs != "" {
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
+		defer d.Close()
+		if err := d.WaitReady(5 * time.Second); err != nil {
+			fmt.Fprintf(stderr, "ascdg: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)
+		}
+		cfg.Runner = d
+		cfg.RunnerLanes = d.Lanes()
 	}
 	flow := core.NewFlow(unit, cfg)
 	defer flow.Close()

@@ -1,0 +1,111 @@
+// Command farmd is the remote simulation worker daemon of the
+// distributed farm. It listens for farm-protocol connections (see
+// internal/farm), executes deterministic chunk requests against the
+// built-in units, and streams aggregated coverage counts back. Because
+// every chunk is seeded purely from (batch seed, instance index), a
+// fleet of farmd processes produces bit-identical results to a purely
+// local run.
+//
+// Usage:
+//
+//	farmd -listen :9666 [-capacity 8] [-plan-cache 64] [-drain 10s]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight chunks finish and their
+// results are delivered before the process exits; idle connections are
+// severed immediately so dispatchers retry elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/internal/duv/ifu"
+	_ "repro/internal/duv/iounit"
+	_ "repro/internal/duv/l3cache"
+	_ "repro/internal/duv/noc"
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("farmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", ":9666", "address to listen on for farm-protocol connections")
+	capacity := fs.Int("capacity", 0, "concurrently executing chunks (<= 0: GOMAXPROCS); advertised to dispatchers")
+	planCache := fs.Int("plan-cache", 0, "per-unit compiled-plan cache entries (0: unbounded)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight chunks")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address while running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "farmd: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "farmd: %v\n", err)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "farmd: %v\n", err)
+		return 1
+	}
+	srv := farm.NewServer(farm.ServerOptions{
+		Capacity:      *capacity,
+		PlanCacheSize: *planCache,
+		DrainTimeout:  *drain,
+		Rec:           sess.Recorder(),
+	})
+	fmt.Fprintf(stdout, "farmd: listening on %s (capacity %d, protocol v%d)\n",
+		ln.Addr(), srv.Capacity(), farm.ProtocolVersion)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	serveDone := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(stdout, "farmd: %v: draining (in-flight chunks finish, budget %s)\n", sig, *drain)
+			srv.Shutdown()
+		case <-serveDone:
+		}
+	}()
+
+	err = srv.Serve(ln)
+	close(serveDone)
+	srv.Shutdown() // idempotent; waits for the signal path's drain too
+	if err != nil {
+		fmt.Fprintf(stderr, "farmd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "farmd: drained, exiting")
+	return 0
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/farm"
+	"repro/internal/sim"
+	"repro/internal/template"
+)
+
+// addrWatcher captures run's stdout and signals the bound listen
+// address as soon as the startup line appears.
+type addrWatcher struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	sent bool
+}
+
+var listenLine = regexp.MustCompile(`listening on (\S+)`)
+
+func (w *addrWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if m := listenLine.FindStringSubmatch(w.buf.String()); m != nil {
+			w.sent = true
+			w.addr <- m[1]
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestFarmdServesAndDrainsOnSignal boots the daemon on an ephemeral
+// port, executes a real chunk against it over TCP, then delivers
+// SIGTERM and checks the clean-drain path: exit code 0 and the drain
+// banner, with the dispatcher's result bit-identical to a local run.
+func TestFarmdServesAndDrainsOnSignal(t *testing.T) {
+	stdout := &addrWatcher{addr: make(chan string, 1)}
+	var stderr bytes.Buffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-listen", "127.0.0.1:0", "-capacity", "2", "-drain", "5s"}, stdout, &stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-stdout.addr:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("farmd never reported its listen address; stderr:\n%s", stderr.String())
+	}
+
+	d := farm.New([]string{addr}, farm.Options{})
+	defer d.Close()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	unit := iounit.New()
+	tmpl, err := template.Parse("template farmd_t { weight Command { read: 5; write: 15; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := sim.RemoteChunk{
+		Unit: iounit.UnitName, Template: tmpl, Seed: 77,
+		Lo: 0, Hi: 200, Events: unit.Model().Size(),
+	}
+	got, err := d.RunChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := sim.NewEnv(unit, 1, 1)
+	defer local.Close()
+	want, err := local.RunChunk(tmpl, chunk.Seed, chunk.Lo, chunk.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Hits(i) != want.Hits(i) {
+			t.Fatalf("event %d: remote hits %d, local hits %d", i, got.Hits(i), want.Hits(i))
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr:\n%s", c, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("farmd did not exit after SIGTERM; stdout:\n%s\nstderr:\n%s",
+			stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, exiting") {
+		t.Fatalf("missing drain banners in output:\n%s", out)
+	}
+}
+
+func TestFarmdFlagErrorExitsTwo(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, io.Discard, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "flag provided but not defined") {
+		t.Fatalf("stderr missing flag diagnostic:\n%s", stderr.String())
+	}
+}
+
+func TestFarmdBadListenAddr(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-listen", "256.0.0.1:bogus"}, io.Discard, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+}

@@ -97,7 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		env := sim.NewEnv(unit, *seed, *workers)
 		defer env.Close()
 		env.SetRecorder(sess.Recorder())
-		repo = env.BuildCorpus(*sims)
+		repo, err = env.BuildCorpus(*sims)
+		if err != nil {
+			fmt.Fprintf(stderr, "regress: %v\n", err)
+			return 1
+		}
 	}
 	suite, err := regress.FromRepository(repo, nil)
 	if err != nil {

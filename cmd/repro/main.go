@@ -17,7 +17,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
+	"repro/internal/farm"
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/profiling"
@@ -30,6 +33,7 @@ func main() {
 	rounds := flag.Int("rounds", 5, "max refinement rounds for family experiments")
 	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	farmAddrs := flag.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -70,6 +74,15 @@ func main() {
 	}()
 
 	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds, Workers: *workers, Obs: sess.Recorder()}
+	if *farmAddrs != "" {
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
+		defer d.Close()
+		if err := d.WaitReady(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)
+		}
+		opts.Runner = d
+		opts.RunnerLanes = d.Lanes()
+	}
 
 	var results []*figures.Result
 	switch *fig {

@@ -44,6 +44,13 @@ type Config struct {
 	Seed uint64
 	// Workers sizes the batch environment's pool (<= 0: GOMAXPROCS).
 	Workers int
+	// Runner, when non-nil, adds remote chunk-execution lanes to the
+	// environment (see sim.ChunkRunner; internal/farm provides the
+	// distributed implementation). RunnerLanes sizes them (default 1).
+	// Purely a throughput knob: results are bit-identical with or
+	// without a runner, at any lane count, under any runner failures.
+	Runner      sim.ChunkRunner
+	RunnerLanes int
 
 	// CorpusSimsPerTemplate is the number of simulations of each base
 	// template when building the "Before CDG" corpus (default 1000).
@@ -184,6 +191,13 @@ func NewFlow(unit duv.DUV, cfg Config) *Flow {
 	cfg = cfg.withDefaults()
 	env := sim.NewEnv(unit, cfg.Seed, cfg.Workers)
 	env.SetRecorder(cfg.Obs)
+	if cfg.Runner != nil {
+		lanes := cfg.RunnerLanes
+		if lanes <= 0 {
+			lanes = 1
+		}
+		env.AttachRunner(cfg.Runner, lanes)
+	}
 	return &Flow{
 		env:   env,
 		cfg:   cfg,
@@ -311,7 +325,12 @@ func (f *Flow) ensureCorpus() error {
 	ph := f.rec.PhaseStart("corpus", map[string]any{
 		"sims_per_template": f.cfg.CorpusSimsPerTemplate,
 	})
-	f.repo = f.env.BuildCorpus(f.cfg.CorpusSimsPerTemplate)
+	repo, err := f.env.BuildCorpus(f.cfg.CorpusSimsPerTemplate)
+	if err != nil {
+		ph.End(nil)
+		return err
+	}
+	f.repo = repo
 	ph.End(map[string]any{"sims": f.repo.Sims()})
 	return nil
 }
@@ -457,7 +476,11 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		return nil, err
 	}
 	report.BestTemplate = bestTemplate
-	bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+	bestCounts, err := f.env.Run(bestTemplate, f.cfg.BestSims)
+	if err != nil {
+		phHarvest.End(nil)
+		return nil, err
+	}
 	phHarvest.End(map[string]any{"template": bestTemplate.Name})
 	report.Phases = append(report.Phases, PhaseStats{
 		Name:        "best",
@@ -490,7 +513,13 @@ func (f *Flow) batchObjective(skel *skeleton.Skeleton, target *neighbors.Target,
 				// would be a programming error here.
 				panic(err)
 			}
-			jobs[i] = f.env.Submit(tmpl, f.cfg.OptSims)
+			job, err := f.env.Submit(tmpl, f.cfg.OptSims)
+			if err != nil {
+				// Submit only fails on a closed environment, which would
+				// be a programming error mid-flow.
+				panic(err)
+			}
+			jobs[i] = job
 		}
 		vals := make([]float64, len(points))
 		for i, job := range jobs {
@@ -526,7 +555,11 @@ func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *cove
 		if err != nil {
 			return nil, nil, err
 		}
-		jobs = append(jobs, f.env.Submit(tmpl, f.cfg.SampleSims))
+		job, err := f.env.Submit(tmpl, f.cfg.SampleSims)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs = append(jobs, job)
 		samples = append(samples, sample{x: x})
 	}
 	for i, job := range jobs {

@@ -185,7 +185,11 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			return nil, err
 		}
 		report.BestTemplate = bestTemplate
-		bestCounts := f.env.Run(bestTemplate, f.cfg.BestSims)
+		bestCounts, err := f.env.Run(bestTemplate, f.cfg.BestSims)
+		if err != nil {
+			phHarvest.End(nil)
+			return nil, err
+		}
 		phHarvest.End(map[string]any{"template": bestTemplate.Name})
 		report.Phases = append(report.Phases, PhaseStats{
 			Name:        "best",

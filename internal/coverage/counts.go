@@ -69,6 +69,22 @@ func (c *Counts) Status(id int) Status {
 	return Classify(c.hits[id], c.sims)
 }
 
+// Raw returns a copy of the per-event hit counts and the simulation
+// count — the wire form of an aggregate. CountsFromRaw reverses it.
+func (c *Counts) Raw() ([]uint64, uint64) {
+	hits := make([]uint64, len(c.hits))
+	copy(hits, c.hits)
+	return hits, c.sims
+}
+
+// CountsFromRaw reconstructs an aggregate from its wire form (a copy is
+// taken, so the caller keeps ownership of hits).
+func CountsFromRaw(hits []uint64, sims uint64) *Counts {
+	c := &Counts{hits: make([]uint64, len(hits)), sims: sims}
+	copy(c.hits, hits)
+	return c
+}
+
 // Clone returns an independent copy.
 func (c *Counts) Clone() *Counts {
 	n := &Counts{hits: make([]uint64, len(c.hits)), sims: c.sims}

@@ -1,0 +1,511 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Dispatcher errors.
+var (
+	// ErrNoWorkers reports that no remote connection was available
+	// within AcquireTimeout. The scheduler treats it like any runner
+	// failure: the chunk runs locally, so a dead or absent fleet
+	// degrades throughput, never results.
+	ErrNoWorkers = errors.New("farm: no remote workers available")
+	// ErrDispatcherClosed reports a RunChunk after Close.
+	ErrDispatcherClosed = errors.New("farm: dispatcher is closed")
+)
+
+// Options tune the dispatcher. The zero value gives sane defaults.
+type Options struct {
+	// ChunkTimeout is the per-attempt deadline for one remote exchange
+	// (write request, read result). <= 0: 60s.
+	ChunkTimeout time.Duration
+	// AcquireTimeout bounds the wait for an idle connection before the
+	// attempt is abandoned (and the chunk falls back locally). <= 0: 2s.
+	AcquireTimeout time.Duration
+	// Attempts is how many connections a chunk tries before giving up
+	// remotely. Each failed attempt evicts its connection and backs off
+	// (BackoffBase doubling per attempt, jittered, capped at
+	// BackoffMax). <= 0: 3.
+	Attempts int
+	// Heartbeat is the idle-connection ping interval; dead connections
+	// are evicted and their keeper redials (rejoin). <= 0: 5s. Negative
+	// disables heartbeats.
+	Heartbeat time.Duration
+	// BackoffBase/BackoffMax bound the exponential redial and retry
+	// backoff. <= 0: 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxConnsPerWorker caps connections per address; the effective
+	// count is min(cap, worker's advertised capacity). <= 0: 8.
+	MaxConnsPerWorker int
+	// Dial opens a transport to a worker address. nil: TCP. The
+	// fault-injection loopback substitutes its own.
+	Dial func(addr string) (net.Conn, error)
+	// Rec receives dispatcher metrics and per-worker trace lanes (nil
+	// disables).
+	Rec *obs.Recorder
+}
+
+func (o *Options) setDefaults() {
+	if o.ChunkTimeout <= 0 {
+		o.ChunkTimeout = 60 * time.Second
+	}
+	if o.AcquireTimeout <= 0 {
+		o.AcquireTimeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 5 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.MaxConnsPerWorker <= 0 {
+		o.MaxConnsPerWorker = 8
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+}
+
+// Dispatcher hands scheduler chunks to a fleet of farm workers. It
+// implements sim.ChunkRunner, so it plugs into a simulation environment
+// with Env.AttachRunner(d, d.Lanes()); the scheduler's remote lanes and
+// local workers then pull from one queue, mixing local and remote
+// execution freely.
+//
+// Per worker address the dispatcher keeps a set of connection slots
+// (one in-flight chunk each). Every slot has a keeper goroutine that
+// dials, handshakes, and — whenever the connection dies — redials with
+// exponential backoff, so workers may crash and rejoin at any time.
+// Failed exchanges are retried on other connections with backoff and
+// jitter, and the chunk is abandoned to the scheduler's local fallback
+// after Attempts tries; combined with the scheduler's exactly-once
+// merge, a chunk is never lost and never double-counted, whatever the
+// failure pattern.
+type Dispatcher struct {
+	opts  Options
+	addrs []string
+	idle  chan *wconn
+
+	closed   chan struct{}
+	stop     sync.Once
+	wg       sync.WaitGroup
+	ready    chan struct{} // closed on the first successful handshake
+	readyOne sync.Once
+
+	// Metric handles (all nil-safe).
+	mDials     *obs.Counter
+	mDialFails *obs.Counter
+	mChunks    *obs.Counter
+	mErrors    *obs.Counter
+	mRetries   *obs.Counter
+	mEvicts    *obs.Counter
+	mInflight  *obs.Gauge
+	hRPCNs     *obs.Histogram
+	tracer     *obs.Tracer
+}
+
+// wconn is one live worker connection. It is owned by exactly one
+// goroutine at a time — a scheduler lane mid-exchange, the heartbeater
+// mid-ping, or the idle pool — so frames on it never interleave.
+type wconn struct {
+	conn    net.Conn
+	addr    string
+	addrIdx int
+	nextID  uint64
+	dead    atomic.Bool
+	broken  chan struct{} // closed by kill; wakes the keeper to redial
+}
+
+// New starts a dispatcher for the given worker addresses. It returns
+// immediately; connections are established in the background (WaitReady
+// blocks for the first). An empty address list yields a dispatcher
+// whose RunChunk always reports ErrNoWorkers — graceful degradation to
+// local-only execution.
+func New(addrs []string, opts Options) *Dispatcher {
+	opts.setDefaults()
+	d := &Dispatcher{
+		opts:   opts,
+		addrs:  addrs,
+		idle:   make(chan *wconn, len(addrs)*opts.MaxConnsPerWorker+1),
+		closed: make(chan struct{}),
+		ready:  make(chan struct{}),
+	}
+	if rec := opts.Rec; rec != nil {
+		d.mDials = rec.Counter("farm.dials")
+		d.mDialFails = rec.Counter("farm.dial_failures")
+		d.mChunks = rec.Counter("farm.chunks")
+		d.mErrors = rec.Counter("farm.chunk_errors")
+		d.mRetries = rec.Counter("farm.retries")
+		d.mEvicts = rec.Counter("farm.conn_evictions")
+		d.mInflight = rec.Gauge("farm.inflight")
+		d.hRPCNs = rec.Histogram("farm.rpc_ns", obs.LatencyBounds())
+		d.tracer = rec.Trace
+	}
+	for i, addr := range addrs {
+		d.wg.Add(1)
+		go d.keeper(i, addr, 0, &sync.Once{})
+	}
+	if opts.Heartbeat > 0 {
+		d.wg.Add(1)
+		go d.heartbeater()
+	}
+	return d
+}
+
+// Lanes is the recommended number of scheduler lanes to attach: one per
+// potential connection slot, so a fully healthy fleet can be saturated
+// while AcquireTimeout keeps lanes from stalling when slots are down.
+func (d *Dispatcher) Lanes() int {
+	return len(d.addrs) * d.opts.MaxConnsPerWorker
+}
+
+// WaitReady blocks until at least one worker connection has completed
+// its handshake, or the timeout expires (ErrNoWorkers), or the
+// dispatcher closes. Callers that prefer pure graceful degradation can
+// skip it: an unready dispatcher just falls back locally.
+func (d *Dispatcher) WaitReady(timeout time.Duration) error {
+	select {
+	case <-d.ready:
+		return nil
+	case <-time.After(timeout):
+		return ErrNoWorkers
+	case <-d.closed:
+		return ErrDispatcherClosed
+	}
+}
+
+// RunChunk implements sim.ChunkRunner: it relocates the chunk to a
+// worker and returns the aggregate, retrying across connections before
+// reporting failure (which sends the chunk to the scheduler's local
+// fallback).
+func (d *Dispatcher) RunChunk(c sim.RemoteChunk) (*coverage.Counts, error) {
+	select {
+	case <-d.closed:
+		return nil, ErrDispatcherClosed
+	default:
+	}
+	var lastErr error
+	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			d.mRetries.Inc()
+			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, attempt-1))
+		}
+		w := d.acquire()
+		if w == nil {
+			if lastErr == nil {
+				lastErr = ErrNoWorkers
+			}
+			break
+		}
+		d.mInflight.Add(1)
+		counts, err := d.exchange(w, c)
+		d.mInflight.Add(-1)
+		if err == nil {
+			d.mChunks.Inc()
+			d.put(w)
+			return counts, nil
+		}
+		lastErr = err
+		d.mErrors.Inc()
+		d.kill(w)
+	}
+	return nil, lastErr
+}
+
+// exchange performs one chunk RPC on a connection the caller owns,
+// under the per-chunk deadline. Stale frames (duplicated results from
+// a flaky transport, late heartbeat replies) are skipped by correlation
+// ID, so a noisy connection either yields the right answer or an error
+// — never a mismatched one.
+func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk) (*coverage.Counts, error) {
+	sp := d.tracer.Span("farm", "rpc")
+	if sp != nil {
+		sp = sp.WithTid(200 + w.addrIdx)
+		sp.SetArg("worker", w.addr)
+		sp.SetArg("instances", c.Hi-c.Lo)
+	}
+	start := time.Now()
+	counts, err := d.exchange1(w, c)
+	d.hRPCNs.Observe(uint64(time.Since(start)))
+	if sp != nil {
+		sp.SetArg("ok", err == nil)
+		sp.End()
+	}
+	return counts, err
+}
+
+func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk) (*coverage.Counts, error) {
+	w.conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
+	defer w.conn.SetDeadline(time.Time{})
+	id := w.nextID
+	w.nextID++
+	if err := WriteFrame(w.conn, chunkFrame(id, c)); err != nil {
+		return nil, err
+	}
+	for {
+		var f Frame
+		if err := ReadFrame(w.conn, &f); err != nil {
+			return nil, err
+		}
+		if f.Type != TypeResult || f.ID != id {
+			continue // stale duplicate or heartbeat reply; keep reading
+		}
+		if f.Err != "" {
+			return nil, fmt.Errorf("farm: worker %s: %s", w.addr, f.Err)
+		}
+		n := uint64(c.Hi - c.Lo)
+		if len(f.Hits) != c.Events || f.Sims != n {
+			return nil, fmt.Errorf("farm: worker %s: malformed result (%d events/%d sims, want %d/%d)",
+				w.addr, len(f.Hits), f.Sims, c.Events, n)
+		}
+		return coverage.CountsFromRaw(f.Hits, f.Sims), nil
+	}
+}
+
+// acquire pulls an idle connection, skipping any that died while
+// pooled. nil means no connection within AcquireTimeout (or closed).
+func (d *Dispatcher) acquire() *wconn {
+	deadline := time.NewTimer(d.opts.AcquireTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case w := <-d.idle:
+			if w.dead.Load() {
+				continue
+			}
+			return w
+		case <-deadline.C:
+			return nil
+		case <-d.closed:
+			return nil
+		}
+	}
+}
+
+// put returns a healthy connection to the pool.
+func (d *Dispatcher) put(w *wconn) {
+	select {
+	case <-d.closed:
+		d.kill(w)
+		return
+	default:
+	}
+	select {
+	case d.idle <- w:
+	default:
+		// Pool sized for every possible slot; overflow means bookkeeping
+		// is off somewhere — evict rather than block a scheduler lane.
+		d.kill(w)
+	}
+}
+
+// kill evicts a connection: the keeper observes broken and redials.
+func (d *Dispatcher) kill(w *wconn) {
+	if w.dead.Swap(true) {
+		return
+	}
+	d.mEvicts.Inc()
+	w.conn.Close()
+	close(w.broken)
+}
+
+// keeper maintains one connection slot for one worker address: dial,
+// handshake, hand the connection to the pool, wait for it to break,
+// redial with exponential backoff. Slot 0 discovers the worker's
+// capacity from its welcome frame and spawns the remaining slots
+// (capacity-driven fan-out, capped by MaxConnsPerWorker).
+func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Once) {
+	defer d.wg.Done()
+	fails := 0
+	for {
+		select {
+		case <-d.closed:
+			return
+		default:
+		}
+		d.mDials.Inc()
+		w, capacity, err := d.dial(addrIdx, addr)
+		if err != nil {
+			d.mDialFails.Inc()
+			fails++
+			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, fails-1))
+			continue
+		}
+		fails = 0
+		d.readyOne.Do(func() { close(d.ready) })
+		if slot == 0 {
+			fanOut.Do(func() {
+				n := capacity
+				if n > d.opts.MaxConnsPerWorker {
+					n = d.opts.MaxConnsPerWorker
+				}
+				for s := 1; s < n; s++ {
+					d.wg.Add(1)
+					go d.keeper(addrIdx, addr, s, fanOut)
+				}
+			})
+		}
+		select {
+		case d.idle <- w:
+		case <-d.closed:
+			d.kill(w)
+			return
+		}
+		select {
+		case <-w.broken:
+			// Evicted (I/O error, failed ping): loop and redial.
+		case <-d.closed:
+			d.kill(w)
+			return
+		}
+	}
+}
+
+// dial opens and handshakes one connection. A handshake refusal (error
+// frame, wrong welcome) maps onto ErrVersionMismatch.
+func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
+	conn, err := d.opts.Dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
+	if err := WriteFrame(conn, &Frame{Type: TypeHello, Version: ProtocolVersion}); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	var f Frame
+	if err := ReadFrame(conn, &f); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	conn.SetDeadline(time.Time{})
+	if f.Type == TypeError {
+		conn.Close()
+		return nil, 0, fmt.Errorf("%w: worker %s: %s", ErrVersionMismatch, addr, f.Err)
+	}
+	if f.Type != TypeWelcome || f.Version != ProtocolVersion {
+		conn.Close()
+		return nil, 0, fmt.Errorf("%w: worker %s answered %q v%d", ErrVersionMismatch, addr, f.Type, f.Version)
+	}
+	capacity := f.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &wconn{
+		conn:    conn,
+		addr:    addr,
+		addrIdx: addrIdx,
+		broken:  make(chan struct{}),
+	}, capacity, nil
+}
+
+// heartbeater periodically pings pooled (idle) connections and evicts
+// the dead; their keepers redial, so a restarted worker rejoins without
+// intervention. In-flight connections are not pinged — an active
+// exchange is its own liveness proof, and exclusive ownership keeps
+// ping/result frames from interleaving.
+func (d *Dispatcher) heartbeater() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-t.C:
+			for n := len(d.idle); n > 0; n-- {
+				select {
+				case w := <-d.idle:
+					if w.dead.Load() {
+						continue
+					}
+					if d.ping(w) != nil {
+						d.kill(w)
+					} else {
+						d.put(w)
+					}
+				default:
+					n = 0
+				}
+			}
+		}
+	}
+}
+
+func (d *Dispatcher) ping(w *wconn) error {
+	w.conn.SetDeadline(time.Now().Add(d.opts.Heartbeat))
+	defer w.conn.SetDeadline(time.Time{})
+	id := w.nextID
+	w.nextID++
+	if err := WriteFrame(w.conn, &Frame{Type: TypePing, ID: id}); err != nil {
+		return err
+	}
+	for {
+		var f Frame
+		if err := ReadFrame(w.conn, &f); err != nil {
+			return err
+		}
+		if f.Type == TypePong && f.ID == id {
+			return nil
+		}
+		// Skip stale duplicates from a flaky transport.
+	}
+}
+
+// Close stops the dispatcher: keepers and the heartbeater exit, every
+// connection is closed, and subsequent RunChunk calls report
+// ErrDispatcherClosed (in-flight exchanges fail and fall back locally).
+// Close is idempotent.
+func (d *Dispatcher) Close() {
+	d.stop.Do(func() { close(d.closed) })
+	for {
+		select {
+		case w := <-d.idle:
+			d.kill(w)
+		default:
+			d.wg.Wait()
+			return
+		}
+	}
+}
+
+// sleep waits for dur unless the dispatcher closes first.
+func (d *Dispatcher) sleep(dur time.Duration) {
+	select {
+	case <-time.After(dur):
+	case <-d.closed:
+	}
+}
+
+// backoff is the attempt'th exponential backoff step with ±25% jitter.
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	dur := base << uint(attempt)
+	if dur > max || dur <= 0 {
+		dur = max
+	}
+	jitter := time.Duration(rand.Int63n(int64(dur)/2+1)) - dur/4
+	return dur + jitter
+}

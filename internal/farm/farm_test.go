@@ -1,0 +1,358 @@
+package farm
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/duv/iounit"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/template"
+)
+
+// testOptions are aggressive timings so fault scenarios resolve in
+// milliseconds instead of the production defaults' seconds.
+func testOptions(dial func(string) (net.Conn, error), rec *obs.Recorder) Options {
+	return Options{
+		ChunkTimeout:   2 * time.Second,
+		AcquireTimeout: 50 * time.Millisecond,
+		Attempts:       3,
+		Heartbeat:      20 * time.Millisecond,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Dial:           dial,
+		Rec:            rec,
+	}
+}
+
+func altTemplate(t *testing.T) *template.Template {
+	t.Helper()
+	tmpl, err := template.Parse("template farm_alt { weight Command { read: 10; write: 30; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmpl
+}
+
+// workload runs a fixed two-batch workload on an iounit environment
+// with the given runner attached and returns the merged aggregate plus
+// total sims accounting — the quantity every topology must agree on
+// bit for bit.
+func workload(t *testing.T, r sim.ChunkRunner, lanes int) *coverage.Counts {
+	t.Helper()
+	env := sim.NewEnv(iounit.New(), 1234, 2)
+	defer env.Close()
+	if r != nil {
+		env.AttachRunner(r, lanes)
+	}
+	unit := env.Unit()
+	a, err := env.Submit(unit.BaseTemplates()[0], 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Submit(altTemplate(t), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := coverage.NewCountsFor(unit.Model())
+	total.Merge(a.Wait())
+	total.Merge(b.Wait())
+	return total
+}
+
+func diffCounts(t *testing.T, label string, got, want *coverage.Counts) {
+	t.Helper()
+	if got.Sims() != want.Sims() {
+		t.Fatalf("%s: sims = %d, want %d (chunk lost or double-counted)", label, got.Sims(), want.Sims())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Hits(i) != want.Hits(i) {
+			t.Fatalf("%s: event %d hits = %d, want %d", label, i, got.Hits(i), want.Hits(i))
+		}
+	}
+}
+
+// farmFixture wires a loopback fleet to a dispatcher.
+func farmFixture(t *testing.T, faults []Faults, rec *obs.Recorder) (*Dispatcher, []*Server) {
+	t.Helper()
+	lb := NewLoopback()
+	addrs := make([]string, len(faults))
+	servers := make([]*Server, len(faults))
+	for i, f := range faults {
+		servers[i] = NewServer(ServerOptions{Capacity: 2, DrainTimeout: 2 * time.Second})
+		addrs[i] = string(rune('a' + i))
+		lb.Add(addrs[i], servers[i], f)
+	}
+	d := New(addrs, testOptions(lb.Dial, rec))
+	t.Cleanup(d.Close)
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	})
+	return d, servers
+}
+
+// TestFarmBitIdenticalAcrossTopologies is the tentpole acceptance
+// criterion: a fixed seed produces the same aggregate with no farm,
+// one worker, several workers, and a fleet misbehaving in every
+// programmed way (dropped connections, duplicated frames, latency,
+// failed dials).
+func TestFarmBitIdenticalAcrossTopologies(t *testing.T) {
+	want := workload(t, nil, 0)
+
+	scenarios := []struct {
+		name   string
+		faults []Faults
+	}{
+		{"one_worker", []Faults{{}}},
+		{"three_workers", []Faults{{}, {}, {}}},
+		{"dropping_worker", []Faults{{DropAfterFrames: 6}, {}}},
+		{"duplicating_worker", []Faults{{DuplicateEvery: 2}, {DuplicateEvery: 3}}},
+		{"slow_worker", []Faults{{Delay: 2 * time.Millisecond}, {}}},
+		{"flaky_dials", []Faults{{FailDials: 3}, {FailDials: 1}}},
+		{"everything_at_once", []Faults{
+			{DropAfterFrames: 8, Delay: time.Millisecond},
+			{DuplicateEvery: 2, FailDials: 2},
+			{},
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rec := obs.NewRecorder()
+			d, _ := farmFixture(t, sc.faults, rec)
+			got := workload(t, d, d.Lanes())
+			diffCounts(t, sc.name, got, want)
+		})
+	}
+}
+
+// TestFarmRemoteActuallyRuns sanity-checks the remote path end to end
+// and deterministically: a chunk pushed through the dispatcher comes
+// back bit-identical to the same chunk run by a local environment, and
+// the dispatcher's accounting reflects it — so the topology tests above
+// are not vacuously comparing local-only runs.
+func TestFarmRemoteActuallyRuns(t *testing.T) {
+	rec := obs.NewRecorder()
+	d, _ := farmFixture(t, []Faults{{}}, rec)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	unit := iounit.New()
+	chunk := sim.RemoteChunk{
+		Unit: iounit.UnitName, Template: altTemplate(t), Seed: 42,
+		Lo: 0, Hi: 100, Events: unit.Model().Size(),
+	}
+	got, err := d.RunChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := sim.NewEnv(unit, 7, 1) // env seed irrelevant to RunChunk
+	defer local.Close()
+	want, err := local.RunChunk(chunk.Template, chunk.Seed, chunk.Lo, chunk.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCounts(t, "remote chunk", got, want)
+
+	snap := rec.Metrics.Snapshot()
+	if snap.Counters["farm.chunks"] != 1 {
+		t.Fatalf("farm.chunks = %d, want 1", snap.Counters["farm.chunks"])
+	}
+	if snap.Gauges["farm.inflight"] != 0 {
+		t.Fatalf("inflight gauge = %d after completion, want 0", snap.Gauges["farm.inflight"])
+	}
+	if snap.Histograms["farm.rpc_ns"].Count != 1 {
+		t.Fatalf("rpc_ns count = %d, want 1", snap.Histograms["farm.rpc_ns"].Count)
+	}
+	// One RPC span on the worker's trace lane.
+	spans := 0
+	for _, ev := range rec.Trace.Events() {
+		if ev.Cat == "farm" && ev.Name == "rpc" {
+			spans++
+			if ev.Tid != 200 {
+				t.Fatalf("rpc span on lane %d, want 200", ev.Tid)
+			}
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("rpc spans = %d, want 1", spans)
+	}
+}
+
+// TestFarmWorkerKilledMidRun kills a worker while chunks are in flight:
+// the run must complete (no stall), with bit-identical results (no
+// loss, no double count) — chunks stranded on the dead worker are
+// retried elsewhere or fall back locally.
+func TestFarmWorkerKilledMidRun(t *testing.T) {
+	want := workload(t, nil, 0)
+	// The doomed worker answers slowly so the kill lands mid-exchange.
+	d, servers := farmFixture(t, []Faults{{Delay: 3 * time.Millisecond}, {}}, nil)
+	done := make(chan *coverage.Counts, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- workload(t, d, d.Lanes())
+	}()
+	time.Sleep(10 * time.Millisecond)
+	servers[0].Shutdown()
+	select {
+	case got := <-done:
+		diffCounts(t, "mid-run kill", got, want)
+	case <-time.After(30 * time.Second):
+		t.Fatal("run stalled after worker kill")
+	}
+	wg.Wait()
+}
+
+// TestFarmRejoin checks eviction/rejoin: a worker that refuses its
+// first dials is eventually reached by the keeper's backoff loop, and a
+// worker whose connections keep dying keeps being redialed.
+func TestFarmRejoin(t *testing.T) {
+	d, _ := farmFixture(t, []Faults{{FailDials: 4}}, nil)
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("keeper never reached worker after transient dial failures: %v", err)
+	}
+}
+
+// TestFarmNoWorkers checks graceful degradation: a dispatcher with no
+// fleet (or an unreachable one) reports ErrNoWorkers — so scheduler
+// lanes fall back locally — rather than stalling.
+func TestFarmNoWorkers(t *testing.T) {
+	d := New(nil, testOptions(NewLoopback().Dial, nil))
+	defer d.Close()
+	_, err := d.RunChunk(sim.RemoteChunk{Unit: iounit.UnitName, Seed: 1, Lo: 0, Hi: 8, Events: 1})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	// The workload still completes, entirely locally.
+	want := workload(t, nil, 0)
+	got := workload(t, d, 2)
+	diffCounts(t, "no workers", got, want)
+}
+
+func TestFarmDispatcherClosed(t *testing.T) {
+	d, _ := farmFixture(t, []Faults{{}}, nil)
+	d.Close()
+	if _, err := d.RunChunk(sim.RemoteChunk{Unit: iounit.UnitName, Hi: 8, Events: 1}); !errors.Is(err, ErrDispatcherClosed) {
+		t.Fatalf("err = %v, want ErrDispatcherClosed", err)
+	}
+}
+
+// TestFarmUnknownUnitFallsBack checks a worker reports unknown units
+// in-band and the scheduler's fallback still completes the run.
+func TestFarmUnknownUnit(t *testing.T) {
+	d, _ := farmFixture(t, []Faults{{}}, nil)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.RunChunk(sim.RemoteChunk{Unit: "no_such_unit", Seed: 1, Lo: 0, Hi: 4, Events: 1})
+	if err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+}
+
+// TestServerDrain checks clean shutdown semantics directly on the
+// wire: a connection mid-chunk gets its result before the server goes
+// away; an idle connection is severed immediately.
+func TestServerDrain(t *testing.T) {
+	srv := NewServer(ServerOptions{Capacity: 2, DrainTimeout: 10 * time.Second})
+	dialSrv := func() net.Conn {
+		client, server := net.Pipe()
+		go srv.ServeConn(server)
+		client.SetDeadline(time.Now().Add(10 * time.Second))
+		if err := WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolVersion}); err != nil {
+			t.Fatal(err)
+		}
+		var f Frame
+		if err := ReadFrame(client, &f); err != nil || f.Type != TypeWelcome {
+			t.Fatalf("handshake failed: %v %+v", err, f)
+		}
+		return client
+	}
+	busy := dialSrv()
+	defer busy.Close()
+	idle := dialSrv()
+	defer idle.Close()
+
+	// A chunk big enough to still be in flight when Shutdown starts.
+	if err := WriteFrame(busy, &Frame{
+		Type: TypeChunk, ID: 1, Unit: iounit.UnitName, Seed: 7, Lo: 0, Hi: 30000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the server pick the chunk up
+	shutdownDone := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(shutdownDone)
+	}()
+
+	var res Frame
+	if err := ReadFrame(busy, &res); err != nil {
+		t.Fatalf("in-flight chunk was severed instead of drained: %v", err)
+	}
+	if res.Type != TypeResult || res.ID != 1 || res.Err != "" || res.Sims != 30000 {
+		t.Fatalf("drained result = %+v", res)
+	}
+	// The idle connection is gone (read fails rather than blocking).
+	var f Frame
+	if err := ReadFrame(idle, &f); err == nil {
+		t.Fatalf("idle connection survived shutdown: %+v", f)
+	}
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	// Post-shutdown connections are refused.
+	client, server := net.Pipe()
+	defer client.Close()
+	go srv.ServeConn(server)
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolVersion})
+	if err := ReadFrame(client, &f); err == nil {
+		t.Fatalf("draining server answered handshake: %+v", f)
+	}
+}
+
+// TestFarmTCP is the end-to-end smoke over real sockets: a farmd-style
+// server on a loopback listener, a TCP dispatcher, bit-identical
+// results, and a clean shutdown.
+func TestFarmTCP(t *testing.T) {
+	srv := NewServer(ServerOptions{Capacity: 2, DrainTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	d := New([]string{ln.Addr().String()}, Options{
+		AcquireTimeout: 100 * time.Millisecond,
+		BackoffBase:    5 * time.Millisecond,
+		Heartbeat:      50 * time.Millisecond,
+	})
+	defer d.Close()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := workload(t, nil, 0)
+	got := workload(t, d, d.Lanes())
+	diffCounts(t, "tcp", got, want)
+
+	srv.Shutdown()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}

@@ -1,0 +1,166 @@
+package farm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults program the loopback transport's misbehavior. All counters are
+// per-connection except FailDials, which is a per-worker budget.
+type Faults struct {
+	// FailDials fails this worker's first N dial attempts — exercises
+	// the keeper's redial backoff and WaitReady.
+	FailDials int
+	// Delay is added before every server-side frame write — exercises
+	// per-chunk deadlines when larger than ChunkTimeout, and plain
+	// latency otherwise.
+	Delay time.Duration
+	// DuplicateEvery duplicates every Nth server-side frame (0: never) —
+	// exercises the dispatcher's correlation-ID skip and, with the
+	// scheduler's exactly-once merge, proves duplicates cannot
+	// double-count.
+	DuplicateEvery int
+	// DropAfterFrames severs the connection after the server has
+	// written N frames (0: never) — exercises mid-run worker loss,
+	// chunk retry on other connections, and local fallback.
+	DropAfterFrames int
+}
+
+// Loopback is an in-memory farm transport for tests: worker addresses
+// map to in-process Servers, and each connection's server side is
+// wrapped with programmable fault injection. Its Dial method slots into
+// Options.Dial, so the entire dispatcher stack — handshake, pooling,
+// heartbeats, retries, fallback — runs unchanged against a misbehaving
+// "network" with no sockets involved.
+type Loopback struct {
+	mu      sync.Mutex
+	workers map[string]*loopWorker
+}
+
+type loopWorker struct {
+	srv         *Server
+	faults      Faults
+	failedDials int
+}
+
+// NewLoopback returns an empty transport; register workers with Add.
+func NewLoopback() *Loopback {
+	return &Loopback{workers: map[string]*loopWorker{}}
+}
+
+// Add registers a worker under an address with its fault program.
+func (l *Loopback) Add(addr string, srv *Server, f Faults) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.workers[addr] = &loopWorker{srv: srv, faults: f}
+}
+
+// Dial implements Options.Dial: it builds a synchronous in-memory pipe,
+// wraps the server end in the worker's fault program, and serves the
+// farm protocol on it.
+func (l *Loopback) Dial(addr string) (net.Conn, error) {
+	l.mu.Lock()
+	w, ok := l.workers[addr]
+	if !ok {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("farm: loopback has no worker %q", addr)
+	}
+	if w.failedDials < w.faults.FailDials {
+		w.failedDials++
+		l.mu.Unlock()
+		return nil, fmt.Errorf("farm: loopback: injected dial failure %d/%d for %q",
+			w.failedDials, w.faults.FailDials, addr)
+	}
+	faults := w.faults
+	l.mu.Unlock()
+
+	client, server := net.Pipe()
+	fc := newFaultConn(server, faults)
+	go func() {
+		w.srv.ServeConn(fc)
+		fc.Close()
+	}()
+	return client, nil
+}
+
+// faultConn wraps the server side of a pipe. Writes are decoupled onto
+// a background goroutine so injected delays and duplicates cannot
+// deadlock the synchronous pipe (a duplicated frame would otherwise
+// block the server until the client happens to read it). WriteFrame
+// sends each frame as exactly one Write call, so counting writes counts
+// frames.
+type faultConn struct {
+	net.Conn
+	faults  Faults
+	wch     chan []byte
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func newFaultConn(conn net.Conn, f Faults) *faultConn {
+	fc := &faultConn{
+		Conn:   conn,
+		faults: f,
+		wch:    make(chan []byte, 64),
+		done:   make(chan struct{}),
+	}
+	go fc.writer()
+	return fc
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	buf := make([]byte, len(b))
+	copy(buf, b)
+	select {
+	case fc.wch <- buf:
+		return len(b), nil
+	case <-fc.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// writer applies the fault program to the outgoing frame stream.
+func (fc *faultConn) writer() {
+	frames := 0
+	for {
+		select {
+		case <-fc.done:
+			return
+		case buf := <-fc.wch:
+			frames++
+			if fc.faults.DropAfterFrames > 0 && frames > fc.faults.DropAfterFrames {
+				fc.Close() // sever: the client sees EOF mid-exchange
+				return
+			}
+			if fc.faults.Delay > 0 {
+				select {
+				case <-time.After(fc.faults.Delay):
+				case <-fc.done:
+					return
+				}
+			}
+			if _, err := fc.Conn.Write(buf); err != nil {
+				return
+			}
+			if fc.faults.DuplicateEvery > 0 && frames%fc.faults.DuplicateEvery == 0 {
+				if _, err := fc.Conn.Write(buf); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (fc *faultConn) Close() error {
+	fc.closeMu.Lock()
+	defer fc.closeMu.Unlock()
+	if fc.closed {
+		return nil
+	}
+	fc.closed = true
+	close(fc.done)
+	return fc.Conn.Close()
+}

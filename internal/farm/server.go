@@ -1,0 +1,318 @@
+package farm
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/duv"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ServerOptions configure a farm worker.
+type ServerOptions struct {
+	// Capacity bounds concurrently executing chunks (welcome frames
+	// advertise it so dispatchers open a matching number of
+	// connections). <= 0 selects GOMAXPROCS.
+	Capacity int
+	// PlanCacheSize bounds each unit environment's compiled-plan cache
+	// (<= 0: sim.DefaultPlanCacheSize). Worth setting on long-lived
+	// daemons: every chunk request re-parses its template, and only the
+	// content-keyed cache keeps that from becoming a compile per chunk.
+	PlanCacheSize int
+	// DrainTimeout bounds Shutdown: connections executing a chunk get
+	// this long to finish and write their result before being severed
+	// (severed chunks are re-run by the dispatcher's fallback, so drain
+	// is an optimization, never a correctness requirement). <= 0: 10s.
+	DrainTimeout time.Duration
+	// Rec receives the worker's metrics and traces (nil disables).
+	Rec *obs.Recorder
+}
+
+// Server executes chunk requests for any registered DUV. One Server
+// serves many connections; each connection executes at most one chunk
+// at a time (the dispatcher opens one connection per capacity slot),
+// and a capacity semaphore bounds the total across connections.
+type Server struct {
+	opts ServerOptions
+	sem  chan struct{}
+
+	mu    sync.Mutex
+	envs  map[string]*sim.Env
+	conns map[*serverConn]struct{}
+	wg    sync.WaitGroup
+
+	draining atomic.Bool
+	done     chan struct{} // closed when Shutdown begins
+
+	// Metric handles (all nil-safe).
+	mConns   *obs.Gauge
+	mChunks  *obs.Counter
+	mErrors  *obs.Counter
+	mRefused *obs.Counter
+	hChunkNs *obs.Histogram
+	hSims    *obs.Histogram
+	tracer   *obs.Tracer
+}
+
+// serverConn is one client connection plus the flag Shutdown uses to
+// decide whether it may be severed immediately (idle, blocked in read)
+// or should be left to finish its in-flight chunk.
+type serverConn struct {
+	conn net.Conn
+	busy atomic.Bool
+}
+
+// NewServer builds a worker with the given options.
+func NewServer(opts ServerOptions) *Server {
+	if opts.Capacity <= 0 {
+		opts.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 10 * time.Second
+	}
+	s := &Server{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.Capacity),
+		envs:  map[string]*sim.Env{},
+		conns: map[*serverConn]struct{}{},
+		done:  make(chan struct{}),
+	}
+	if rec := opts.Rec; rec != nil {
+		s.mConns = rec.Gauge("farm.server.conns")
+		s.mChunks = rec.Counter("farm.server.chunks")
+		s.mErrors = rec.Counter("farm.server.chunk_errors")
+		s.mRefused = rec.Counter("farm.server.refused")
+		s.hChunkNs = rec.Histogram("farm.server.chunk_ns", obs.LatencyBounds())
+		s.hSims = rec.Histogram("farm.server.chunk_size", obs.SizeBounds())
+		s.tracer = rec.Trace
+	}
+	return s
+}
+
+// Capacity reports the worker's concurrent-chunk bound.
+func (s *Server) Capacity() int { return cap(s.sem) }
+
+// Serve accepts connections until the listener fails or Shutdown runs.
+// Each connection is handled on its own goroutine via ServeConn.
+func (s *Server) Serve(ln net.Listener) error {
+	go func() {
+		<-s.done
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn speaks the farm protocol on one connection until the peer
+// hangs up, an I/O or protocol error occurs, or the server drains. It
+// is exported so transports other than TCP (the in-memory fault-
+// injection loopback, tests) can drive a server directly.
+func (s *Server) ServeConn(conn net.Conn) {
+	sc := &serverConn{conn: conn}
+	if !s.track(sc) {
+		conn.Close()
+		return
+	}
+	s.mConns.Add(1)
+	defer func() {
+		s.untrack(sc)
+		s.mConns.Add(-1)
+		conn.Close()
+	}()
+
+	// Handshake: refuse anything that is not a matching-version hello.
+	var f Frame
+	if err := ReadFrame(conn, &f); err != nil || f.Type != TypeHello {
+		s.mRefused.Inc()
+		return
+	}
+	if f.Version != ProtocolVersion {
+		s.mRefused.Inc()
+		WriteFrame(conn, &Frame{Type: TypeError,
+			Err: fmt.Sprintf("protocol version %d, want %d", f.Version, ProtocolVersion)})
+		return
+	}
+	if err := WriteFrame(conn, &Frame{
+		Type: TypeWelcome, Version: ProtocolVersion, Capacity: s.Capacity(),
+	}); err != nil {
+		return
+	}
+
+	for {
+		if err := ReadFrame(conn, &f); err != nil {
+			return // peer gone, or Shutdown severed an idle connection
+		}
+		switch f.Type {
+		case TypePing:
+			if err := WriteFrame(conn, &Frame{Type: TypePong, ID: f.ID}); err != nil {
+				return
+			}
+		case TypeChunk:
+			sc.busy.Store(true)
+			resp := s.execute(&f)
+			err := WriteFrame(conn, resp)
+			sc.busy.Store(false)
+			if err != nil || s.draining.Load() {
+				return
+			}
+		default:
+			WriteFrame(conn, &Frame{Type: TypeError, Err: "farm: unexpected frame " + f.Type})
+			return
+		}
+	}
+}
+
+// execute runs one chunk request under the capacity semaphore and
+// builds its result frame. Failures (unknown unit, unparsable template,
+// bad range) are reported in-band so the dispatcher can fall back
+// locally without killing the connection.
+func (s *Server) execute(f *Frame) *Frame {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	sp := s.tracer.Span("farm", "serve_chunk")
+	start := time.Now()
+	resp := &Frame{Type: TypeResult, ID: f.ID}
+	hits, sims, err := s.runChunk(f)
+	if err != nil {
+		s.mErrors.Inc()
+		resp.Err = err.Error()
+	} else {
+		s.mChunks.Inc()
+		resp.Hits, resp.Sims = hits, sims
+		s.hSims.Observe(sims)
+	}
+	s.hChunkNs.Observe(uint64(time.Since(start)))
+	if sp != nil {
+		sp.SetArg("unit", f.Unit)
+		sp.SetArg("instances", f.Hi-f.Lo)
+		sp.SetArg("ok", err == nil)
+		sp.End()
+	}
+	return resp
+}
+
+// runChunk resolves the request's unit environment and re-executes the
+// chunk deterministically via sim.Env.RunChunk.
+func (s *Server) runChunk(f *Frame) ([]uint64, uint64, error) {
+	env, err := s.env(f.Unit)
+	if err != nil {
+		return nil, 0, err
+	}
+	tmpl, err := chunkTemplate(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts, err := env.RunChunk(tmpl, f.Seed, f.Lo, f.Hi)
+	if err != nil {
+		return nil, 0, err
+	}
+	hits, sims := counts.Raw()
+	return hits, sims, nil
+}
+
+// env returns the lazily created environment for a unit. Environments
+// are single-worker: a chunk runs inline on its connection goroutine,
+// and the capacity semaphore is the concurrency bound.
+func (s *Server) env(unit string) (*sim.Env, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.envs[unit]; ok {
+		return e, nil
+	}
+	u, err := duv.New(unit)
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEnv(u, 1, 1) // seed irrelevant: RunChunk carries its own
+	if s.opts.Rec != nil {
+		e.SetRecorder(s.opts.Rec)
+	}
+	if s.opts.PlanCacheSize > 0 {
+		e.SetPlanCacheSize(s.opts.PlanCacheSize)
+	}
+	s.envs[unit] = e
+	return e, nil
+}
+
+// track registers a connection; it refuses once draining so Shutdown's
+// sever pass cannot race with late arrivals.
+func (s *Server) track(sc *serverConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.conns[sc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(sc *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+// Shutdown drains the worker: new connections are refused, idle
+// connections are severed immediately, and connections executing a
+// chunk get DrainTimeout to finish and write their result before being
+// severed too. Chunks lost to a hard sever are simply re-run elsewhere
+// by the dispatcher — the farm never double-counts either way, because
+// the scheduler merges each chunk exactly once whoever computes it.
+// Shutdown is idempotent and returns once every handler has exited.
+func (s *Server) Shutdown() {
+	if s.draining.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	close(s.done) // stops Serve's accept loop
+
+	// Sever idle connections; busy ones finish their in-flight chunk
+	// and exit after writing the result (ServeConn checks draining).
+	s.mu.Lock()
+	for sc := range s.conns {
+		if !sc.busy.Load() {
+			sc.conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(s.opts.DrainTimeout):
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.conn.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.envs {
+		e.Close()
+	}
+}

@@ -1,0 +1,171 @@
+// Package farm is the distributed execution backend of the AS-CDG
+// reproduction: the stand-in for the industrial simulation farm the
+// paper's CDG-Runner submits jobs to (Section I, Fig. 2 — "the massive
+// compute resources of the simulation farm").
+//
+// A farm deployment is a set of worker daemons (cmd/farmd) running
+// Server, and a Dispatcher inside the flow process that implements
+// sim.ChunkRunner: the scheduler's remote lanes hand it relocatable
+// chunks — (unit, template source, batch-seed state, index range) — and
+// it returns the chunk's aggregated coverage counts. Because instance i
+// of a batch is seeded purely from (batch seed, i), a chunk computes the
+// same bits on any worker, so the flow's reports are bit-identical at
+// any fleet size, under any failure pattern, and with remote execution
+// disabled entirely.
+//
+// The wire protocol is deliberately primitive — length-prefixed JSON
+// frames over a byte stream — so it needs nothing beyond the standard
+// library and stays debuggable with nc/tcpdump. Framing, not JSON, is
+// the load-bearing part: every frame is one 4-byte big-endian length
+// followed by exactly that many bytes of payload, bounded by MaxFrame.
+package farm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/template"
+)
+
+// ProtocolVersion is negotiated in the hello/welcome handshake; a
+// server refuses clients speaking any other version. Bump on any frame
+// layout or semantics change.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a frame's JSON payload. Chunk requests carry one
+// template source (a few KiB) and results carry one hit-count slice
+// (8 bytes per event), so 4 MiB is orders of magnitude above any
+// legitimate frame while still rejecting garbage lengths (e.g. a peer
+// that isn't speaking the protocol) before allocating.
+const MaxFrame = 4 << 20
+
+// Frame types. A session is: client sends TypeHello, server answers
+// TypeWelcome (or TypeError and closes); then any number of
+// TypeChunk→TypeResult and TypePing→TypePong exchanges.
+const (
+	TypeHello   = "hello"
+	TypeWelcome = "welcome"
+	TypeChunk   = "chunk"
+	TypeResult  = "result"
+	TypePing    = "ping"
+	TypePong    = "pong"
+	TypeError   = "error"
+)
+
+// Wire errors.
+var (
+	// ErrFrameTooLarge reports a frame whose declared length exceeds
+	// MaxFrame (read side) or whose encoding would (write side).
+	ErrFrameTooLarge = errors.New("farm: frame exceeds MaxFrame")
+	// ErrVersionMismatch reports a handshake with an incompatible peer.
+	ErrVersionMismatch = errors.New("farm: protocol version mismatch")
+)
+
+// Frame is the single wire message shape; Type selects which fields are
+// meaningful. A flat struct (rather than per-type messages) keeps the
+// codec one Marshal/Unmarshal pair and lets readers skip frames they
+// did not ask for (stale duplicates, heartbeat replies) by inspecting
+// Type and ID only.
+type Frame struct {
+	Type    string `json:"t"`
+	Version int    `json:"v,omitempty"`
+
+	// Welcome: how many chunks the worker executes concurrently.
+	Capacity int `json:"cap,omitempty"`
+
+	// Chunk/Result/Ping/Pong correlation ID, unique per connection.
+	ID uint64 `json:"id,omitempty"`
+
+	// Chunk request: the relocatable chunk identity.
+	Unit        string `json:"unit,omitempty"`
+	Template    string `json:"tmpl,omitempty"`
+	HasTemplate bool   `json:"has_tmpl,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	Lo          int    `json:"lo,omitempty"`
+	Hi          int    `json:"hi,omitempty"`
+
+	// Result: the chunk's aggregate (per-event hit counts + sims), or
+	// Err if execution failed. Err is also used by TypeError frames.
+	Hits []uint64 `json:"hits,omitempty"`
+	Sims uint64   `json:"sims,omitempty"`
+	Err  string   `json:"err,omitempty"`
+}
+
+// WriteFrame encodes f as one length-prefixed frame. The prefix and
+// payload go out in a single Write call so stream wrappers that count
+// or mutate writes (the fault-injection loopback) see exactly one write
+// per frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("farm: encode frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes one length-prefixed frame into f. It fails on
+// truncated streams (io.ErrUnexpectedEOF), oversized declared lengths
+// (ErrFrameTooLarge, before allocating), and payloads that are not a
+// JSON frame. A clean EOF before any byte is io.EOF.
+func ReadFrame(r io.Reader, f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	*f = Frame{}
+	if err := json.Unmarshal(payload, f); err != nil {
+		return fmt.Errorf("farm: decode frame: %w", err)
+	}
+	return nil
+}
+
+// chunkFrame encodes a scheduler chunk as a request frame. The template
+// travels as source text: Template.String() → template.Parse round-trips
+// exactly, and the server's plan cache is content-keyed, so re-parsing
+// per request costs one parse, not one compile.
+func chunkFrame(id uint64, c sim.RemoteChunk) *Frame {
+	f := &Frame{
+		Type: TypeChunk,
+		ID:   id,
+		Unit: c.Unit,
+		Seed: c.Seed,
+		Lo:   c.Lo,
+		Hi:   c.Hi,
+	}
+	if c.Template != nil {
+		f.Template = c.Template.String()
+		f.HasTemplate = true
+	}
+	return f
+}
+
+// chunkTemplate recovers the request's template; nil with HasTemplate
+// unset means the batch runs the unit's pure default behavior.
+func chunkTemplate(f *Frame) (*template.Template, error) {
+	if !f.HasTemplate {
+		return nil, nil
+	}
+	return template.Parse(f.Template)
+}

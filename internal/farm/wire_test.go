@@ -1,0 +1,208 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/template"
+)
+
+// TestFrameRoundTripQuick property-checks the codec: any frame survives
+// WriteFrame → ReadFrame bit for bit.
+func TestFrameRoundTripQuick(t *testing.T) {
+	types := []string{TypeHello, TypeWelcome, TypeChunk, TypeResult, TypePing, TypePong, TypeError}
+	prop := func(typeIdx uint8, version, capacity uint16, id, seed uint64,
+		lo, hi uint16, hits []uint64, sims uint64, hasTmpl bool, errMsg string) bool {
+		f := Frame{
+			Type:        types[int(typeIdx)%len(types)],
+			Version:     int(version),
+			Capacity:    int(capacity),
+			ID:          id,
+			Unit:        "iounit",
+			Seed:        seed,
+			Lo:          int(lo),
+			Hi:          int(hi),
+			HasTemplate: hasTmpl,
+			Sims:        sims,
+			Err:         strings.ToValidUTF8(errMsg, "?"),
+		}
+		if hasTmpl {
+			f.Template = "template t { weight Mode { a: 1; } }"
+		}
+		if len(hits) > 0 { // omitempty folds empty slices to nil
+			f.Hits = hits
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &f); err != nil {
+			return false
+		}
+		var got Frame
+		if err := ReadFrame(&buf, &got); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(f, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	f := &Frame{Type: TypeChunk, Template: strings.Repeat("x", MaxFrame+1), HasTemplate: true}
+	if err := WriteFrame(io.Discard, f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(hdr[:]), &f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge (and no giant allocation)", err)
+	}
+}
+
+func TestReadFrameRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: TypePing, ID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{1, 3, 4, len(whole) - 1} {
+		var f Frame
+		err := ReadFrame(bytes.NewReader(whole[:cut]), &f)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+		if cut >= 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	payload := []byte("!!! definitely not json !!!")
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var f Frame
+	if err := ReadFrame(&buf, &f); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestChunkFrameRoundTrip(t *testing.T) {
+	tmpl, err := template.Parse("template rt { weight Mode { a: 3; b: 7; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []*template.Template{tmpl, nil} {
+		f := chunkFrame(7, sim.RemoteChunk{Unit: "iounit", Template: tc, Seed: 99, Lo: 8, Hi: 24})
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		var got Frame
+		if err := ReadFrame(&buf, &got); err != nil {
+			t.Fatal(err)
+		}
+		back, err := chunkTemplate(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc == nil {
+			if back != nil {
+				t.Fatal("nil template did not survive")
+			}
+			continue
+		}
+		if back.String() != tc.String() || back.Fingerprint() != tc.Fingerprint() {
+			t.Fatalf("template diverged:\n%s\nvs\n%s", back.String(), tc.String())
+		}
+	}
+}
+
+// TestHandshakeVersionRefusal checks a server refuses a client speaking
+// the wrong protocol version with an in-band error frame.
+func TestHandshakeVersionRefusal(t *testing.T) {
+	srv := NewServer(ServerOptions{Capacity: 1})
+	defer srv.Shutdown()
+	client, server := net.Pipe()
+	defer client.Close()
+	go srv.ServeConn(server)
+
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := ReadFrame(client, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeError || !strings.Contains(f.Err, "version") {
+		t.Fatalf("refusal frame = %+v, want version error", f)
+	}
+}
+
+// TestDialVersionMismatch checks the dispatcher maps a refusing or
+// alien peer onto ErrVersionMismatch.
+func TestDialVersionMismatch(t *testing.T) {
+	// A peer that answers welcome with a future version.
+	fakeDial := func(string) (net.Conn, error) {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			var f Frame
+			if ReadFrame(server, &f) != nil {
+				return
+			}
+			WriteFrame(server, &Frame{Type: TypeWelcome, Version: ProtocolVersion + 1, Capacity: 1})
+		}()
+		return client, nil
+	}
+	d := New(nil, Options{Dial: fakeDial})
+	defer d.Close()
+	if _, _, err := d.dial(0, "fake"); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("future-version welcome: err = %v, want ErrVersionMismatch", err)
+	}
+
+	// A real server refusing an old client maps the error frame too.
+	srv := NewServer(ServerOptions{Capacity: 1})
+	defer srv.Shutdown()
+	oldDial := func(string) (net.Conn, error) {
+		client, server := net.Pipe()
+		go srv.ServeConn(server)
+		return client, nil
+	}
+	d2 := New(nil, Options{Dial: oldDial})
+	defer d2.Close()
+	// Impersonate an old client by dialing and speaking v0 by hand.
+	conn, err := oldDial("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(conn, &Frame{Type: TypeHello, Version: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := ReadFrame(conn, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeError {
+		t.Fatalf("v0 hello answered with %q, want error frame", f.Type)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/duv/iounit"
 	"repro/internal/duv/l3cache"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Options configure a figure run.
@@ -38,6 +39,12 @@ type Options struct {
 	// Obs, when non-nil, instruments every flow of the figure run
 	// (phase spans, scheduler metrics, optimizer progress events).
 	Obs *obs.Recorder
+	// Runner, when non-nil, adds remote chunk-execution lanes (sized by
+	// RunnerLanes) to every flow of the figure run — the internal/farm
+	// dispatcher plugs in here. Results are bit-identical with or
+	// without it.
+	Runner      sim.ChunkRunner
+	RunnerLanes int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +111,8 @@ func Fig3(opts Options) (*Result, error) {
 		Seed:                  opts.Seed,
 		Workers:               opts.Workers,
 		Obs:                   opts.Obs,
+		Runner:                opts.Runner,
+		RunnerLanes:           opts.RunnerLanes,
 		CorpusSimsPerTemplate: scaled(669000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -153,6 +162,8 @@ func Fig4(opts Options) (*Result, error) {
 		Seed:                  opts.Seed,
 		Workers:               opts.Workers,
 		Obs:                   opts.Obs,
+		Runner:                opts.Runner,
+		RunnerLanes:           opts.RunnerLanes,
 		CorpusSimsPerTemplate: scaled(1000000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -202,6 +213,8 @@ func Fig5(opts Options) (*Result, error) {
 		Seed:                  opts.Seed,
 		Workers:               opts.Workers,
 		Obs:                   opts.Obs,
+		Runner:                opts.Runner,
+		RunnerLanes:           opts.RunnerLanes,
 		CorpusSimsPerTemplate: scaled(300000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          3,
 		Subranges:             4,

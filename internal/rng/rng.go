@@ -31,6 +31,13 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's current stream state. New(state)
+// reconstructs a generator that continues the stream identically, which
+// is how a batch seed travels across a process boundary (the farm wire
+// protocol ships chunk seeds as raw state words). It does not advance
+// the stream.
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next value in the stream (SplitMix64 output function).
 func (r *RNG) Uint64() uint64 {
 	r.state += golden

@@ -22,7 +22,7 @@ func TestSchedulerObsMetrics(t *testing.T) {
 
 	handles := make([]*Job, jobs)
 	for i := range handles {
-		handles[i] = env.Submit(modeB(t), batch)
+		handles[i] = submit(t, env, modeB(t), batch)
 	}
 	total := uint64(0)
 	for _, j := range handles {
@@ -96,7 +96,7 @@ func TestSchedulerObsEquivalence(t *testing.T) {
 			if instrument {
 				env.SetRecorder(obs.NewRecorder())
 			}
-			c := env.Run(modeB(t), 200)
+			c := run(t, env, modeB(t), 200)
 			env.Close()
 			results = append(results, &struct{ hits0, hits1, sims uint64 }{
 				c.Hits(0), c.Hits(1), c.Sims(),
@@ -130,7 +130,11 @@ func TestObservabilityOverheadGuard(t *testing.T) {
 			env.SetRecorder(rec)
 			res := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					_ = env.Submit(tmpl, batch).Wait()
+					job, err := env.Submit(tmpl, batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = job.Wait()
 				}
 			})
 			env.Close()

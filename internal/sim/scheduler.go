@@ -11,6 +11,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/template"
 )
 
 // Job is a batch simulation accepted by the environment's scheduler: N
@@ -25,6 +26,12 @@ type Job struct {
 	mu      sync.Mutex
 	total   *coverage.Counts
 	done    chan struct{}
+
+	// Relocation identity: everything a remote worker needs to reproduce
+	// a chunk of this job bit-identically (read-only after Submit).
+	unitName  string
+	tmpl      *template.Template // nil = pure defaults
+	seedState uint64             // seed's raw state; rng.New(seedState) reproduces it
 }
 
 // Wait blocks until every instance of the job has been simulated and
@@ -43,11 +50,39 @@ type chunk struct {
 	lo, hi int
 }
 
+// RemoteChunk is a relocatable chunk description: everything another
+// process needs to reproduce the chunk's simulations bit for bit.
+// Instance i draws its generator seed from Seed's stream via
+// SplitIndex(i), exactly as the local workers do.
+type RemoteChunk struct {
+	// Unit names the DUV (duv.New on the remote side).
+	Unit string
+	// Template is the batch's template; nil means pure default behavior.
+	Template *template.Template
+	// Seed is the batch seed's raw state (rng.New(Seed) reconstructs it).
+	Seed uint64
+	// Lo, Hi bound the chunk's instance indices: [Lo, Hi).
+	Lo, Hi int
+	// Events is the unit's coverage model size, for response validation.
+	Events int
+}
+
+// ChunkRunner executes relocated chunks — the seam where a distributed
+// backend (internal/farm's dispatcher) plugs into the scheduler. A
+// runner returns the chunk's aggregate or an error; on error (or a
+// malformed aggregate) the scheduler re-executes the chunk locally, so
+// runners may fail freely without affecting results. Implementations
+// must be safe for concurrent use by many lanes.
+type ChunkRunner interface {
+	RunChunk(c RemoteChunk) (*coverage.Counts, error)
+}
+
 // Scheduler is a persistent worker pool for batch simulation. Workers
 // are started once (lazily, on the first job) and live until Close;
 // every job, from any goroutine, is sharded into chunks and streamed
 // through the same pool, so concurrent jobs fill the machine instead of
-// spawning and joining a fresh goroutine set per batch.
+// spawning and joining a fresh goroutine set per batch. Remote lanes
+// (attachRunner) pull from the same queue as the local workers.
 type Scheduler struct {
 	workers int
 	tasks   chan chunk
@@ -66,6 +101,8 @@ type schedObs struct {
 	jobsDone  *obs.Counter // jobs fully completed
 	chunks    *obs.Counter // chunks completed
 	instances *obs.Counter // test-instances simulated
+	remote    *obs.Counter // chunks completed by a remote runner
+	fallbacks *obs.Counter // remote failures re-executed locally
 	queue     *obs.Gauge   // chunks queued but not yet picked up
 	chunkNs   *obs.Histogram
 	chunkSize *obs.Histogram
@@ -83,6 +120,8 @@ func newSchedObs(rec *obs.Recorder, workers int) *schedObs {
 		jobsDone:  rec.Counter("sim.jobs_completed"),
 		chunks:    rec.Counter("sim.chunks_completed"),
 		instances: rec.Counter("sim.instances_completed"),
+		remote:    rec.Counter("sim.chunks_remote"),
+		fallbacks: rec.Counter("sim.remote_fallbacks"),
 		queue:     rec.Gauge("sim.queue_depth"),
 		chunkNs:   rec.Histogram("sim.chunk_ns", obs.LatencyBounds()),
 		chunkSize: rec.Histogram("sim.chunk_size", obs.SizeBounds()),
@@ -140,6 +179,18 @@ func (s *Scheduler) enqueue(j *Job, n int) {
 	}
 }
 
+// attachRunner starts lanes goroutines that delegate chunks to r,
+// falling back to local execution when r fails. Lanes exit when the
+// scheduler closes, exactly like local workers.
+func (s *Scheduler) attachRunner(r ChunkRunner, lanes int) {
+	if r == nil || lanes < 1 {
+		return
+	}
+	for i := 0; i < lanes; i++ {
+		go s.remoteWork(i, r)
+	}
+}
+
 // countJob / countEnqueue are nil-safe submission-side hooks.
 func (o *schedObs) countJob() {
 	if o != nil {
@@ -161,13 +212,13 @@ func (s *Scheduler) work(id int) {
 	for t := range s.tasks {
 		o := s.obs
 		if o == nil {
-			s.runChunk(t)
+			s.complete(t, s.simulateChunk(t))
 			continue
 		}
 		o.queue.Add(-1)
 		sp := o.tracer.Span("sim", "chunk").WithTid(100 + id)
 		start := time.Now()
-		completed := s.runChunk(t)
+		completed := s.complete(t, s.simulateChunk(t))
 		dur := time.Since(start)
 		n := uint64(t.hi - t.lo)
 		if sp != nil {
@@ -186,18 +237,87 @@ func (s *Scheduler) work(id int) {
 	}
 }
 
-// runChunk simulates one chunk and reports whether it completed its
-// job. This is the simulate hot path: it takes no locks beyond the
-// job's final merge and touches no observability state.
-func (s *Scheduler) runChunk(t chunk) bool {
+// remoteWork is one remote lane's loop: hand a chunk to the runner and
+// merge its aggregate, re-executing locally if the runner fails or
+// returns a malformed result. Either way the chunk lands exactly once,
+// so aggregates can never double-count — the core of the farm's
+// fault-tolerance contract.
+func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
+	for t := range s.tasks {
+		o := s.obs
+		n := uint64(t.hi - t.lo)
+		var sp *obs.Span
+		var start time.Time
+		if o != nil {
+			o.queue.Add(-1)
+			sp = o.tracer.Span("sim", "chunk_remote").WithTid(300 + lane)
+			start = time.Now()
+		}
+		counts, err := r.RunChunk(RemoteChunk{
+			Unit:     t.job.unitName,
+			Template: t.job.tmpl,
+			Seed:     t.job.seedState,
+			Lo:       t.lo,
+			Hi:       t.hi,
+			Events:   t.job.total.Len(),
+		})
+		remote := err == nil && counts != nil &&
+			counts.Len() == t.job.total.Len() && counts.Sims() == n
+		if !remote {
+			// Remote execution failed (worker down, timeout, bad frame):
+			// the chunk must still land exactly once, so run it here.
+			if o != nil {
+				o.fallbacks.Inc()
+			}
+			counts = s.simulateChunk(t)
+		}
+		completed := s.complete(t, counts)
+		if o == nil {
+			continue
+		}
+		dur := time.Since(start)
+		if sp != nil {
+			sp.SetArg("instances", n)
+			sp.SetArg("remote", remote)
+			sp.End()
+		}
+		o.chunkNs.Observe(uint64(dur))
+		o.chunkSize.Observe(n)
+		if n > 0 {
+			o.simNs.Observe(uint64(dur) / n)
+		}
+		o.chunks.Inc()
+		o.instances.Add(n)
+		if remote {
+			o.remote.Inc()
+		}
+		if completed {
+			o.jobsDone.Inc()
+		}
+	}
+}
+
+// simulateChunk runs one chunk locally into a private aggregate. This is
+// the simulate hot path: it takes no locks and touches no observability
+// state.
+func (s *Scheduler) simulateChunk(t chunk) *coverage.Counts {
 	j := t.job
 	local := coverage.NewCounts(j.total.Len())
 	for i := t.lo; i < t.hi; i++ {
 		g := generator.NewFromPlan(j.plan, j.seed.SplitIndex(uint64(i)).Uint64())
 		local.Add(j.unit.Simulate(g))
 	}
+	return local
+}
+
+// complete merges one chunk's aggregate into its job — exactly once per
+// chunk, whoever computed it — and reports whether it was the job's last
+// chunk. Counts merging is commutative, so completion order does not
+// affect the result.
+func (s *Scheduler) complete(t chunk, counts *coverage.Counts) bool {
+	j := t.job
 	j.mu.Lock()
-	j.total.Merge(local)
+	j.total.Merge(counts)
 	j.mu.Unlock()
 	if j.pending.Add(-1) == 0 {
 		close(j.done)
@@ -206,8 +326,9 @@ func (s *Scheduler) runChunk(t chunk) bool {
 	return false
 }
 
-// Close shuts the pool down; idle workers exit after finishing queued
-// work. No job may be submitted after Close. Close is idempotent.
+// Close shuts the pool down; idle workers and remote lanes exit after
+// finishing queued work. No job may be submitted after Close. Close is
+// idempotent.
 func (s *Scheduler) Close() {
 	s.stop.Do(func() { close(s.tasks) })
 }

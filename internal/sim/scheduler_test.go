@@ -42,8 +42,8 @@ func TestSubmitWaitMatchesSequentialRun(t *testing.T) {
 		{nil, 57},
 		{base, 5},
 	} {
-		want := seq.Run(batch.tmpl, batch.n)
-		got := par.Submit(batch.tmpl, batch.n).Wait()
+		want := run(t, seq, batch.tmpl, batch.n)
+		got := submit(t, par, batch.tmpl, batch.n).Wait()
 		sameCounts(t, "batch", want, got)
 	}
 	if seq.Simulations() != par.Simulations() {
@@ -63,17 +63,17 @@ func TestConcurrentJobsBitIdentical(t *testing.T) {
 
 	jobs := make([]*Job, len(templates))
 	for i, tmpl := range templates {
-		jobs[i] = par.Submit(tmpl, 150)
+		jobs[i] = submit(t, par, tmpl, 150)
 	}
 	for i, tmpl := range templates {
-		sameCounts(t, "job", seq.Run(tmpl, 150), jobs[i].Wait())
+		sameCounts(t, "job", run(t, seq, tmpl, 150), jobs[i].Wait())
 	}
 }
 
 func TestSubmitZeroInstances(t *testing.T) {
 	env := NewEnv(newToy(), 9, 4)
 	defer env.Close()
-	job := env.Submit(modeB(t), 0)
+	job := submit(t, env, modeB(t), 0)
 	c := job.Wait() // must not block
 	if c.Sims() != 0 {
 		t.Fatalf("zero-instance job ran %d sims", c.Sims())
@@ -85,14 +85,14 @@ func TestSubmitZeroInstances(t *testing.T) {
 	// the next batch must align with a sequential env that also burned one.
 	seq := NewEnv(newToy(), 9, 1)
 	defer seq.Close()
-	seq.Run(modeB(t), 0)
-	sameCounts(t, "post-empty", seq.Run(modeB(t), 80), env.Submit(modeB(t), 80).Wait())
+	run(t, seq, modeB(t), 0)
+	sameCounts(t, "post-empty", run(t, seq, modeB(t), 80), submit(t, env, modeB(t), 80).Wait())
 }
 
 func TestSubmitCountsAtSubmission(t *testing.T) {
 	env := NewEnv(newToy(), 10, 2)
 	defer env.Close()
-	job := env.Submit(modeB(t), 64)
+	job := submit(t, env, modeB(t), 64)
 	if env.Simulations() != 64 {
 		t.Fatalf("submitted-but-unfinished job not counted: %d", env.Simulations())
 	}
@@ -113,7 +113,7 @@ func TestManyConcurrentSubmitters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := env.Submit(modeB(t), perJob).Wait()
+			c := submit(t, env, modeB(t), perJob).Wait()
 			if c.Sims() != perJob || c.Hits(1) != perJob {
 				t.Errorf("job counts: sims %d hits %d", c.Sims(), c.Hits(1))
 			}
@@ -133,7 +133,7 @@ func TestSchedulerRealUnitEquivalence(t *testing.T) {
 	defer seq.Close()
 	defer par.Close()
 	for _, tmpl := range seq.Unit().BaseTemplates() {
-		sameCounts(t, tmpl.Name, seq.Run(tmpl, 120), par.Submit(tmpl, 120).Wait())
+		sameCounts(t, tmpl.Name, run(t, seq, tmpl, 120), submit(t, par, tmpl, 120).Wait())
 	}
 }
 
@@ -143,8 +143,14 @@ func TestRunEachMatchesSequential(t *testing.T) {
 	defer seq.Close()
 	defer par.Close()
 	ts := seq.Unit().BaseTemplates()
-	a := seq.RunEach(ts, 60)
-	b := par.RunEach(ts, 60)
+	a, err := seq.RunEach(ts, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.RunEach(ts, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range ts {
 		sameCounts(t, ts[i].Name, a[i], b[i])
 	}
@@ -152,7 +158,7 @@ func TestRunEachMatchesSequential(t *testing.T) {
 
 func TestEnvCloseIdempotent(t *testing.T) {
 	env := NewEnv(newToy(), 1, 3)
-	env.Submit(modeB(t), 20).Wait()
+	submit(t, env, modeB(t), 20).Wait()
 	env.Close()
 	env.Close() // second close must not panic
 }

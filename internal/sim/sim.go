@@ -13,14 +13,22 @@
 // submissions of the same template still see fresh sampling noise (the
 // "dynamic noise" the optimizer must absorb, Section IV-E).
 //
-// Each job's template is compiled once into a generator.Plan (cached per
-// template) and shared read-only by all N instances, so per-decision
-// parameter resolution and allocation are off the per-simulation path.
+// Each job's template is compiled once into a generator.Plan (cached,
+// content-keyed, size-bounded) and shared read-only by all N instances,
+// so per-decision parameter resolution and allocation are off the
+// per-simulation path.
+//
+// Chunks are relocatable: instance i of a batch is seeded purely from
+// (batch seed, i), never from which worker runs it or in which order, so
+// a chunk may execute in another goroutine — or another process, via a
+// ChunkRunner such as the internal/farm dispatcher — and contribute the
+// same bits to the aggregate.
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/coverage"
@@ -31,23 +39,26 @@ import (
 	"repro/internal/template"
 )
 
+// ErrClosed is returned by Submit, Run and friends after Close.
+var ErrClosed = errors.New("sim: environment is closed")
+
 // Env is a batch simulation environment bound to one DUV.
 type Env struct {
 	unit     duv.DUV
+	unitName string
 	workers  int
 	seed     *rng.RNG
 	batch    atomic.Uint64
 	sims     atomic.Uint64
+	closed   atomic.Bool
 	defaults generator.Defaults
 	sched    *Scheduler
+	plans    *planCache
 
 	// Observability handles (nil when disabled; all nil-safe).
 	mBatches   *obs.Counter
 	mInstances *obs.Counter // sequential-path instances (the scheduler counts its own)
 	hBatchSize *obs.Histogram
-
-	planMu sync.RWMutex
-	plans  map[*template.Template]*generator.Plan
 }
 
 // NewEnv creates an environment for the unit with the given base seed.
@@ -58,11 +69,12 @@ func NewEnv(unit duv.DUV, seed uint64, workers int) *Env {
 	}
 	return &Env{
 		unit:     unit,
+		unitName: unit.Name(),
 		workers:  workers,
 		seed:     rng.New(seed),
 		defaults: unit.Defaults(),
 		sched:    newScheduler(workers),
-		plans:    map[*template.Template]*generator.Plan{},
+		plans:    newPlanCache(DefaultPlanCacheSize),
 	}
 }
 
@@ -76,14 +88,38 @@ func (e *Env) SetRecorder(rec *obs.Recorder) {
 	e.mBatches = rec.Counter("sim.batches_submitted")
 	e.mInstances = rec.Counter("sim.instances_completed")
 	e.hBatchSize = rec.Histogram("sim.batch_size", obs.SizeBounds())
+	e.plans.setRecorder(rec)
 	e.sched.setRecorder(rec)
 }
 
-// Close releases the environment's worker pool. No simulation may be
-// requested afterwards. Leaving an environment unclosed leaks its idle
-// workers until process exit — harmless for CLIs, worth avoiding in
-// long-lived servers and benchmarks.
-func (e *Env) Close() { e.sched.Close() }
+// SetPlanCacheSize rebounds the compiled-plan cache (default
+// DefaultPlanCacheSize). Long-lived daemons that stream arbitrary
+// template bodies set this to match their memory budget; evicted plans
+// are simply recompiled on next use, so any bound is semantically
+// neutral.
+func (e *Env) SetPlanCacheSize(n int) { e.plans.setCap(n) }
+
+// AttachRunner adds lanes remote-execution goroutines that pull chunks
+// from the same queue as the local workers and delegate them to r —
+// the seam where a distributed backend (internal/farm) plugs in. Local
+// and remote execution mix freely: whichever lane pulls a chunk runs
+// it, and if r fails the chunk is re-executed locally by the same lane,
+// so a runner may fail, stall, or disappear without affecting results
+// or double-counting a chunk. Call before the first Submit.
+func (e *Env) AttachRunner(r ChunkRunner, lanes int) {
+	e.sched.attachRunner(r, lanes)
+}
+
+// Close releases the environment's worker pool. Simulation requests
+// after Close return ErrClosed. Leaving an environment unclosed leaks
+// its idle workers until process exit — harmless for CLIs, worth
+// avoiding in long-lived servers and benchmarks. Close is idempotent.
+func (e *Env) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.sched.Close()
+}
 
 // Unit returns the DUV the environment simulates.
 func (e *Env) Unit() duv.DUV { return e.unit }
@@ -93,27 +129,14 @@ func (e *Env) Unit() duv.DUV { return e.unit }
 // but unfinished jobs are already counted.
 func (e *Env) Simulations() uint64 { return e.sims.Load() }
 
-// plan returns the unit's compiled sampling plan for tmpl, compiling and
-// caching it on first use. Plans are keyed by template identity; the
-// cache holds every distinct template the environment has simulated.
+// plan returns the unit's compiled sampling plan for tmpl, compiling
+// and caching it on first use. Plans are keyed by template content, so
+// re-parsed or renamed copies of one body share one table; the cache is
+// size-bounded (SetPlanCacheSize).
 func (e *Env) plan(tmpl *template.Template) *generator.Plan {
-	e.planMu.RLock()
-	p, ok := e.plans[tmpl]
-	e.planMu.RUnlock()
-	if ok {
-		return p
-	}
-	p = generator.Compile(tmpl, e.defaults)
-	e.planMu.Lock()
-	// Re-check: a racing compiler may have won; keep the first plan so
-	// every instance of the template shares one table.
-	if q, ok := e.plans[tmpl]; ok {
-		p = q
-	} else {
-		e.plans[tmpl] = p
-	}
-	e.planMu.Unlock()
-	return p
+	return e.plans.get(planKey(tmpl), func() *generator.Plan {
+		return generator.Compile(tmpl, e.defaults)
+	})
 }
 
 // Submit enqueues a batch of n test-instances of tmpl (nil = pure
@@ -121,33 +144,47 @@ func (e *Env) plan(tmpl *template.Template) *generator.Plan {
 // seed is drawn from the environment's counter at submission, so a fixed
 // submission order reproduces a fixed result regardless of worker count
 // or completion order. Wait on the returned job for the aggregate.
-func (e *Env) Submit(tmpl *template.Template, n int) *Job {
+// After Close, Submit returns ErrClosed.
+func (e *Env) Submit(tmpl *template.Template, n int) (*Job, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
 	job := &Job{
-		unit:  e.unit,
-		plan:  e.plan(tmpl),
-		seed:  batchSeed,
-		total: coverage.NewCountsFor(e.unit.Model()),
-		done:  make(chan struct{}),
+		unit:      e.unit,
+		unitName:  e.unitName,
+		tmpl:      tmpl,
+		plan:      e.plan(tmpl),
+		seed:      batchSeed,
+		seedState: batchSeed.State(),
+		total:     coverage.NewCountsFor(e.unit.Model()),
+		done:      make(chan struct{}),
 	}
 	if n <= 0 {
 		close(job.done)
-		return job
+		return job, nil
 	}
 	e.sims.Add(uint64(n))
 	e.mBatches.Inc()
 	e.hBatchSize.Observe(uint64(n))
 	e.sched.enqueue(job, n)
-	return job
+	return job, nil
 }
 
 // Run simulates n test-instances of tmpl (nil = pure default behavior)
 // and returns the aggregated counts. Single-worker environments run the
 // batch inline — the sequential reference path the scheduler is tested
-// against.
-func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
+// against. After Close, Run returns ErrClosed.
+func (e *Env) Run(tmpl *template.Template, n int) (*coverage.Counts, error) {
 	if e.workers > 1 && n > 1 {
-		return e.Submit(tmpl, n).Wait()
+		job, err := e.Submit(tmpl, n)
+		if err != nil {
+			return nil, err
+		}
+		return job.Wait(), nil
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
 	}
 	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
 	plan := e.plan(tmpl)
@@ -162,36 +199,74 @@ func (e *Env) Run(tmpl *template.Template, n int) *coverage.Counts {
 		e.mInstances.Add(uint64(n))
 		e.hBatchSize.Observe(uint64(n))
 	}
-	return c
+	return c, nil
+}
+
+// RunChunk simulates instances [lo, hi) of a relocated batch: tmpl (nil
+// = pure default behavior) under the given batch seed state. Instance
+// i's generator seed depends only on (batch seed, i), so the result is
+// bit-identical to the chunk's execution inside the originating
+// environment, whichever process runs it — this is the farm worker's
+// entry point. The environment's own batch counter is not consumed.
+func (e *Env) RunChunk(tmpl *template.Template, seedState uint64, lo, hi int) (*coverage.Counts, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("sim: bad chunk range [%d, %d)", lo, hi)
+	}
+	plan := e.plan(tmpl)
+	seed := rng.New(seedState)
+	c := coverage.NewCountsFor(e.unit.Model())
+	for i := lo; i < hi; i++ {
+		g := generator.NewFromPlan(plan, seed.SplitIndex(uint64(i)).Uint64())
+		c.Add(e.unit.Simulate(g))
+	}
+	if n := hi - lo; n > 0 {
+		e.sims.Add(uint64(n))
+		e.mInstances.Add(uint64(n))
+	}
+	return c, nil
 }
 
 // RunEach simulates n instances of every template and returns one
 // aggregate per template, in order. All batches are submitted up front
 // and run concurrently on the scheduler.
-func (e *Env) RunEach(templates []*template.Template, n int) []*coverage.Counts {
+func (e *Env) RunEach(templates []*template.Template, n int) ([]*coverage.Counts, error) {
 	out := make([]*coverage.Counts, len(templates))
 	if e.workers <= 1 {
 		for i, t := range templates {
-			out[i] = e.Run(t, n)
+			c, err := e.Run(t, n)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
 		}
-		return out
+		return out, nil
 	}
 	jobs := make([]*Job, len(templates))
 	for i, t := range templates {
-		jobs[i] = e.Submit(t, n)
+		job, err := e.Submit(t, n)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
 	}
 	for i, j := range jobs {
 		out[i] = j.Wait()
 	}
-	return out
+	return out, nil
 }
 
 // RunInto simulates n instances of tmpl and records the aggregate in the
 // repository under the template's name, returning the aggregate.
-func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int) *coverage.Counts {
-	c := e.Run(tmpl, n)
+func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int) (*coverage.Counts, error) {
+	c, err := e.Run(tmpl, n)
+	if err != nil {
+		return nil, err
+	}
 	repo.RecordCounts(tmpl.Name, c)
-	return c
+	return c, nil
 }
 
 // BuildCorpus simulates the unit's entire base regression suite,
@@ -199,11 +274,15 @@ func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int)
 // in for the "several weeks of mainstream unit simulation" that precede
 // AS-CDG in the paper's result tables ("Before CDG" columns). All
 // templates' batches run concurrently on the scheduler.
-func (e *Env) BuildCorpus(simsPerTemplate int) *coverage.Repository {
+func (e *Env) BuildCorpus(simsPerTemplate int) (*coverage.Repository, error) {
 	repo := coverage.NewRepository(e.unit.Model())
 	templates := e.unit.BaseTemplates()
-	for i, c := range e.RunEach(templates, simsPerTemplate) {
+	counts, err := e.RunEach(templates, simsPerTemplate)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range counts {
 		repo.RecordCounts(templates[i].Name, c)
 	}
-	return repo
+	return repo, nil
 }

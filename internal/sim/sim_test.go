@@ -51,9 +51,39 @@ func modeB(t *testing.T) *template.Template {
 	return tmpl
 }
 
+// run / submit / buildCorpus are must-helpers: the open-environment
+// paths under test never return errors (ErrClosed is exercised by
+// TestClosedEnvReturnsErrClosed).
+func run(t *testing.T, env *Env, tmpl *template.Template, n int) *coverage.Counts {
+	t.Helper()
+	c, err := env.Run(tmpl, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func submit(t *testing.T, env *Env, tmpl *template.Template, n int) *Job {
+	t.Helper()
+	job, err := env.Submit(tmpl, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func buildCorpus(t *testing.T, env *Env, sims int) *coverage.Repository {
+	t.Helper()
+	repo, err := env.BuildCorpus(sims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
 func TestRunAggregates(t *testing.T) {
 	env := NewEnv(newToy(), 1, 4)
-	c := env.Run(modeB(t), 100)
+	c := run(t, env, modeB(t), 100)
 	if c.Sims() != 100 {
 		t.Fatalf("sims = %d", c.Sims())
 	}
@@ -67,7 +97,7 @@ func TestRunAggregates(t *testing.T) {
 
 func TestRunNilTemplateUsesDefaults(t *testing.T) {
 	env := NewEnv(newToy(), 2, 2)
-	c := env.Run(nil, 50)
+	c := run(t, env, nil, 50)
 	if c.Hits(1) != 0 {
 		t.Fatalf("defaults hit mode_b %d times", c.Hits(1))
 	}
@@ -77,7 +107,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	mk := func() *coverage.Counts {
 		env := NewEnv(newToy(), 42, 3)
 		base := env.Unit().BaseTemplates()[0]
-		return env.Run(base, 200)
+		return run(t, env, base, 200)
 	}
 	a, b := mk(), mk()
 	for i := 0; i < 2; i++ {
@@ -90,8 +120,8 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 func TestRepeatedBatchesSeeFreshNoise(t *testing.T) {
 	env := NewEnv(newToy(), 7, 2)
 	base := env.Unit().BaseTemplates()[0] // 50/50 template
-	a := env.Run(base, 500)
-	b := env.Run(base, 500)
+	a := run(t, env, base, 500)
+	b := run(t, env, base, 500)
 	if a.Hits(1) == b.Hits(1) {
 		t.Logf("two batches agreed exactly (%d); possible but unlikely", a.Hits(1))
 	}
@@ -108,7 +138,7 @@ func TestWorkerCountsEquivalent(t *testing.T) {
 	// worker count (work split is by index, not by scheduling).
 	mk := func(workers int) *coverage.Counts {
 		env := NewEnv(newToy(), 99, workers)
-		return env.Run(env.Unit().BaseTemplates()[0], 301)
+		return run(t, env, env.Unit().BaseTemplates()[0], 301)
 	}
 	a, b, c := mk(1), mk(4), mk(16)
 	for i := 0; i < 2; i++ {
@@ -121,7 +151,10 @@ func TestWorkerCountsEquivalent(t *testing.T) {
 func TestRunEach(t *testing.T) {
 	env := NewEnv(newToy(), 5, 2)
 	ts := []*template.Template{modeB(t), env.Unit().BaseTemplates()[0]}
-	counts := env.RunEach(ts, 40)
+	counts, err := env.RunEach(ts, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(counts) != 2 {
 		t.Fatalf("len = %d", len(counts))
 	}
@@ -136,7 +169,9 @@ func TestRunEach(t *testing.T) {
 func TestRunInto(t *testing.T) {
 	env := NewEnv(newToy(), 6, 2)
 	repo := coverage.NewRepository(env.Unit().Model())
-	env.RunInto(repo, modeB(t), 30)
+	if _, err := env.RunInto(repo, modeB(t), 30); err != nil {
+		t.Fatal(err)
+	}
 	c, ok := repo.Template("b_only")
 	if !ok || c.Sims() != 30 {
 		t.Fatalf("repository not updated: %v %v", c, ok)
@@ -145,7 +180,7 @@ func TestRunInto(t *testing.T) {
 
 func TestBuildCorpus(t *testing.T) {
 	env := NewEnv(newToy(), 8, 2)
-	repo := env.BuildCorpus(25)
+	repo := buildCorpus(t, env, 25)
 	if repo.Sims() != 25 {
 		t.Fatalf("corpus sims = %d", repo.Sims())
 	}
@@ -157,7 +192,7 @@ func TestBuildCorpus(t *testing.T) {
 func TestBuildCorpusRealUnit(t *testing.T) {
 	unit := iounit.New()
 	env := NewEnv(unit, 11, 0)
-	repo := env.BuildCorpus(20)
+	repo := buildCorpus(t, env, 20)
 	want := uint64(20 * len(unit.BaseTemplates()))
 	if repo.Sims() != want {
 		t.Fatalf("corpus sims = %d, want %d", repo.Sims(), want)
