@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalAndResume: a journaled CLI run must print the same report
+// as an unjournaled one, and re-running with -resume must replay the
+// finished journal to the identical report without simulating.
+func TestJournalAndResume(t *testing.T) {
+	var plain, errb bytes.Buffer
+	if code := run(smallArgs("-unit", "iounit", "-family", "crc_fifo"), &plain, &errb); code != 0 {
+		t.Fatalf("plain exit %d: %s", code, errb.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	var journaled bytes.Buffer
+	if code := run(smallArgs("-unit", "iounit", "-family", "crc_fifo", "-journal", path), &journaled, &errb); code != 0 {
+		t.Fatalf("journaled exit %d: %s", code, errb.String())
+	}
+	if journaled.String() != plain.String() {
+		t.Fatal("journaled run's output diverged from the plain run")
+	}
+
+	var resumed bytes.Buffer
+	if code := run(smallArgs("-unit", "iounit", "-family", "crc_fifo", "-journal", path, "-resume"), &resumed, &errb); code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errb.String())
+	}
+	if resumed.String() != plain.String() {
+		t.Fatal("resumed run's output diverged from the plain run")
+	}
+}
+
+func TestJournalFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(smallArgs("-unit", "iounit", "-family", "crc_fifo", "-resume"), &out, &errb); code != 2 {
+		t.Fatalf("-resume without -journal: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-resume requires -journal") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	errb.Reset()
+	missing := filepath.Join(t.TempDir(), "missing.journal")
+	if code := run(smallArgs("-unit", "iounit", "-family", "crc_fifo", "-journal", missing, "-resume"), &out, &errb); code != 1 {
+		t.Fatalf("resume of missing journal: exit %d, want 1", code)
+	}
+}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	optSims := fs.Int("opt-sims", 100, "optimizer sims per point (N)")
 	bestSims := fs.Int("best-sims", 2000, "standalone sims of the harvested template")
 	out := fs.String("out", "", "write the harvested test-template to this file")
+	journalPath := fs.String("journal", "", "checkpoint the run into this crash-safe journal file")
+	resume := fs.Bool("resume", false, "recover the -journal file and re-enter the interrupted run (use the same flags)")
 	loadRepo := fs.String("load-repo", "", "load the Before-CDG corpus from this JSON file instead of simulating")
 	saveRepo := fs.String("save-repo", "", "save the (possibly updated) coverage repository to this JSON file")
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
@@ -72,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if (*family == "") == (*cross == "") {
 		fmt.Fprintln(stderr, "ascdg: exactly one of -family or -cross is required")
+		return 2
+	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "ascdg: -resume requires -journal")
 		return 2
 	}
 	unit, err := duv.New(*unitName)
@@ -141,14 +150,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		flow.SetRepository(repo)
 	}
+	if *journalPath != "" {
+		if *resume {
+			err = flow.Resume(*journalPath)
+		} else {
+			err = flow.StartJournal(*journalPath)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+			return 1
+		}
+	}
+	ctx, stopSignals := sigctx.Notify(context.Background(), stderr)
+	defer stopSignals()
 
 	var reports []*core.Report
 	if *family != "" {
-		reports, err = flow.RunFamilyRefined(*family, *decay, *rounds)
+		reports, err = flow.RunFamilyRefinedContext(ctx, *family, *decay, *rounds)
 	} else {
 		var r *core.Report
-		r, err = flow.RunCross(*cross)
+		r, err = flow.RunCrossContext(ctx, *cross)
 		reports = append(reports, r)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(stderr, "ascdg: interrupted")
+		if *journalPath != "" {
+			fmt.Fprintf(stderr, "ascdg: run checkpointed; continue with: ascdg -resume -journal %s (plus the same flags)\n", *journalPath)
+		}
+		return 0
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "ascdg: %v\n", err)

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,9 +27,12 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/regress"
+	"repro/internal/sigctx"
 	"repro/internal/sim"
+	"repro/internal/template"
 )
 
 func main() {
@@ -45,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policy := fs.Int("policy", 0, "allocate this many simulations across the suite")
 	focusLightly := fs.Bool("focus-lightly", false, "policy: weight lightly-hit events 10x")
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	out := fs.String("out", "", "persist the harvested suite (templates + statistics) to this JSON file (atomic write)")
+	journalPath := fs.String("journal", "", "checkpoint the statistics build into this crash-safe journal file")
+	resume := fs.Bool("resume", false, "recover the -journal file and re-enter the interrupted build (use the same flags)")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
@@ -56,8 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "regress: -unit is required")
 		return 2
 	}
-	if !*minimize && *policy <= 0 {
-		fmt.Fprintln(stderr, "regress: one of -minimize or -policy is required")
+	if !*minimize && *policy <= 0 && *out == "" {
+		fmt.Fprintln(stderr, "regress: one of -minimize, -policy or -out is required")
+		return 2
+	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "regress: -resume requires -journal")
 		return 2
 	}
 	unit, err := duv.New(*unitName)
@@ -86,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	ctx, stopSignals := sigctx.Notify(context.Background(), stderr)
+	defer stopSignals()
+
 	var repo *coverage.Repository
 	if *load != "" {
 		repo, err = coverage.LoadFile(*load, unit.Model())
@@ -97,16 +112,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		env := sim.NewEnv(unit, *seed, *workers)
 		defer env.Close()
 		env.SetRecorder(sess.Recorder())
-		repo, err = env.BuildCorpus(*sims)
+		env.SetContext(ctx)
+		var cur *journal.Cursor
+		if *journalPath != "" {
+			cur, err = env.OpenCorpusJournal(*journalPath, *resume, *sims, sess.Recorder())
+			if err != nil {
+				fmt.Fprintf(stderr, "regress: %v\n", err)
+				return 1
+			}
+			defer cur.Close()
+		}
+		repo, err = env.BuildCorpusJournaled(*sims, cur)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "regress: interrupted")
+			if *journalPath != "" {
+				fmt.Fprintf(stderr, "regress: build checkpointed; continue with: regress -resume -journal %s (plus the same flags)\n", *journalPath)
+			}
+			return 0
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "regress: %v\n", err)
 			return 1
 		}
 	}
-	suite, err := regress.FromRepository(repo, nil)
+	bodies := map[string]*template.Template{}
+	for _, t := range unit.BaseTemplates() {
+		bodies[t.Name] = t
+	}
+	suite, err := regress.FromRepository(repo, bodies)
 	if err != nil {
 		fmt.Fprintf(stderr, "regress: %v\n", err)
 		return 1
+	}
+	if *out != "" {
+		if err := suite.SaveFile(*out); err != nil {
+			fmt.Fprintf(stderr, "regress: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "suite saved to %s (%d templates)\n", *out, suite.Len())
 	}
 
 	if *minimize {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/regress"
+)
+
+// TestSuitePersistRoundTrip: -out must write a suite file that loads
+// back with every template body and its statistics intact.
+func TestSuitePersistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-unit", "iounit", "-sims", "100", "-out", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "suite saved to") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	unit := iounit.New()
+	suite, err := regress.LoadSuiteFile(path, unit.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Len() != len(unit.BaseTemplates()) {
+		t.Fatalf("suite has %d entries, want %d", suite.Len(), len(unit.BaseTemplates()))
+	}
+	for _, base := range unit.BaseTemplates() {
+		e, ok := suite.Entry(base.Name)
+		if !ok {
+			t.Fatalf("entry %q missing", base.Name)
+		}
+		if e.Template == nil || e.Template.String() != base.String() {
+			t.Fatalf("entry %q template did not round-trip", base.Name)
+		}
+		if e.Counts.Sims() != 100 {
+			t.Fatalf("entry %q sims = %d, want 100", base.Name, e.Counts.Sims())
+		}
+	}
+}
+
+// TestJournalResumeFlags: -resume without -journal is a usage error; a
+// journaled build followed by a resumed one yields the same output.
+func TestJournalResumeFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-unit", "iounit", "-minimize", "-resume"}, &out, &errb); code != 2 {
+		t.Fatalf("-resume without -journal: exit %d, want 2", code)
+	}
+	jpath := filepath.Join(t.TempDir(), "corpus.journal")
+	var first, second bytes.Buffer
+	if code := run([]string{"-unit", "iounit", "-sims", "100", "-minimize", "-journal", jpath}, &first, &errb); code != 0 {
+		t.Fatalf("journaled run exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-unit", "iounit", "-sims", "100", "-minimize", "-journal", jpath, "-resume"}, &second, &errb); code != 0 {
+		t.Fatalf("resumed run exit %d: %s", code, errb.String())
+	}
+	if first.String() != second.String() {
+		t.Fatal("resumed build's output diverged")
+	}
+}

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -40,7 +43,13 @@ func main() {
 	progress := flag.Bool("progress", false, "stream JSONL progress events (phases, optimizer iterations) to stderr")
 	metrics := flag.Bool("metrics", false, "print a final metrics summary to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
+	journalDir := flag.String("journal", "", "checkpoint each figure's flow into <dir>/figN.journal (crash-safe)")
+	resume := flag.Bool("resume", false, "recover the journals in the -journal directory and re-enter the interrupted run")
 	flag.Parse()
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "repro: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -73,7 +82,12 @@ func main() {
 		}
 	}()
 
-	opts := figures.Options{Scale: *scale, Seed: *seed, Rounds: *rounds, Workers: *workers, Obs: sess.Recorder()}
+	ctx, stopSignals := sigctx.Notify(context.Background(), os.Stderr)
+	defer stopSignals()
+	opts := figures.Options{
+		Scale: *scale, Seed: *seed, Rounds: *rounds, Workers: *workers,
+		Obs: sess.Recorder(), Ctx: ctx, JournalDir: *journalDir, Resume: *resume,
+	}
 	if *farmAddrs != "" {
 		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
 		defer d.Close()
@@ -107,6 +121,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "repro: unknown figure %q (want 3, 4, 5, 6 or all)\n", *fig)
 		os.Exit(2)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "repro: interrupted")
+		if *journalDir != "" {
+			fmt.Fprintf(os.Stderr, "repro: run checkpointed; continue with: repro -resume -journal %s (plus the same flags)\n", *journalDir)
+		}
+		stopSignals()
+		os.Exit(0)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)

@@ -30,6 +30,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	zero := fs.Bool("zero", false, "also mark zero-weight entries")
 	slots := fs.Bool("slots", false, "also list the skeleton's slots")
 	fs.Int("workers", 0, "accepted for flag parity with the other commands; skeletonize never simulates")
+	fs.String("journal", "", "accepted for flag parity with the other commands; skeletonization is instantaneous, nothing to checkpoint")
+	fs.Bool("resume", false, "accepted for flag parity with the other commands; skeletonization is instantaneous, nothing to resume")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +28,9 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/sigctx"
 	"repro/internal/sim"
 	statlib "repro/internal/stats"
 	"repro/internal/tac"
@@ -50,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lightly := fs.Bool("lightly", false, "list lightly-hit events")
 	ci := fs.Bool("ci", false, "report 95% Wilson confidence intervals for hit rates")
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
+	journalPath := fs.String("journal", "", "checkpoint the repository build into this crash-safe journal file")
+	resume := fs.Bool("resume", false, "recover the -journal file and re-enter the interrupted build (use the same flags)")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
@@ -59,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *unitName == "" {
 		fmt.Fprintln(stderr, "tacquery: -unit is required")
+		return 2
+	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "tacquery: -resume requires -journal")
 		return 2
 	}
 	unit, err := duv.New(*unitName)
@@ -87,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	ctx, stopSignals := sigctx.Notify(context.Background(), stderr)
+	defer stopSignals()
+
 	var repo *coverage.Repository
 	if *load != "" {
 		repo, err = coverage.LoadFile(*load, unit.Model())
@@ -98,7 +111,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		env := sim.NewEnv(unit, *seed, *workers)
 		defer env.Close()
 		env.SetRecorder(sess.Recorder())
-		repo, err = env.BuildCorpus(*sims)
+		env.SetContext(ctx)
+		var cur *journal.Cursor
+		if *journalPath != "" {
+			cur, err = env.OpenCorpusJournal(*journalPath, *resume, *sims, sess.Recorder())
+			if err != nil {
+				fmt.Fprintf(stderr, "tacquery: %v\n", err)
+				return 1
+			}
+			defer cur.Close()
+		}
+		repo, err = env.BuildCorpusJournaled(*sims, cur)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "tacquery: interrupted")
+			if *journalPath != "" {
+				fmt.Fprintf(stderr, "tacquery: build checkpointed; continue with: tacquery -resume -journal %s (plus the same flags)\n", *journalPath)
+			}
+			return 0
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "tacquery: %v\n", err)
 			return 1

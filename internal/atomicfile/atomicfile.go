@@ -1,0 +1,46 @@
+// Package atomicfile writes files crash-safely: content is streamed to
+// a temporary file in the destination directory, fsynced, and renamed
+// over the target. Readers never observe a partial file — after a crash
+// the target is either the old complete content or the new complete
+// content, which is the property every artifact a resumable run
+// persists (repositories, harvested suites) needs.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the content produced by write to path atomically.
+// On any error the target is left untouched and the temporary file is
+// removed.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the rename consumes it; nothing left to clean up
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package chaos is the crash-injection harness for the journaled flow
+// (DESIGN.md §10). It drives one reproducible campaign three ways — an
+// uninterrupted baseline, a run killed at an arbitrary journal-append
+// boundary (optionally mid-frame, simulating a torn write), and a
+// resumed run recovering that journal — and checks the resumed run's
+// result is bit-identical to the baseline's.
+//
+// The kill point is the journal itself: Writer.FailAppends makes the
+// n-th append fail with journal.ErrInjected after optionally writing a
+// partial frame, which is exactly the file state a SIGKILL between (or
+// inside) the write and the fsync leaves behind.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// Campaign is one reproducible journaled run: NewFlow must build
+// identical flows (same unit, same config), and Run must drive a flow
+// through the same campaign with the same arguments every time. Run's
+// result is compared across trials with reflect.DeepEqual.
+type Campaign struct {
+	NewFlow func() *core.Flow
+	Run     func(*core.Flow) (any, error)
+}
+
+// Baseline runs the campaign journaled to completion and returns the
+// result plus the finished journal's record count — the number of
+// distinct kill points a Sweep will exercise.
+func (c Campaign) Baseline(path string) (any, int, error) {
+	flow := c.NewFlow()
+	defer flow.Close()
+	if err := flow.StartJournal(path); err != nil {
+		return nil, 0, err
+	}
+	want, err := c.Run(flow)
+	if err != nil {
+		return nil, 0, err
+	}
+	return want, flow.Journal().Writer().Appends(), nil
+}
+
+// CrashAndResume kills one journaled run at append index kill (0-based
+// across the whole record stream; the flow header is append 0) with
+// tear bytes of the doomed frame reaching the file, then resumes the
+// journal in a fresh flow and runs the campaign to completion,
+// returning the resumed run's result. The killed run must die with
+// journal.ErrInjected — any other outcome is an error.
+func (c Campaign) CrashAndResume(path string, kill, tear int) (any, error) {
+	victim := c.NewFlow()
+	if err := victim.StartJournal(path); err != nil {
+		victim.Close()
+		return nil, err
+	}
+	victim.Journal().Writer().FailAppends(kill, tear)
+	_, err := c.Run(victim)
+	victim.Close()
+	if !errors.Is(err, journal.ErrInjected) {
+		return nil, fmt.Errorf("chaos: kill=%d tear=%d: run did not die at the injected append: %v", kill, tear, err)
+	}
+
+	survivor := c.NewFlow()
+	defer survivor.Close()
+	if err := survivor.Resume(path); err != nil {
+		return nil, fmt.Errorf("chaos: kill=%d tear=%d: resume: %w", kill, tear, err)
+	}
+	got, err := c.Run(survivor)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: kill=%d tear=%d: resumed run: %w", kill, tear, err)
+	}
+	return got, nil
+}
+
+// Sweep runs the baseline, then kills and resumes the campaign at
+// every append boundary after the header (kill = 1 .. records-1), once
+// per tear width in tears (0 = clean crash at the boundary, > 0 = that
+// many bytes of the next frame torn onto disk). Every resumed result
+// must DeepEqual the baseline's. It returns the number of crash+resume
+// trials that ran.
+func (c Campaign) Sweep(dir string, tears []int) (int, error) {
+	want, records, err := c.Baseline(filepath.Join(dir, "baseline.journal"))
+	if err != nil {
+		return 0, fmt.Errorf("chaos: baseline: %w", err)
+	}
+	trials := 0
+	for kill := 1; kill < records; kill++ {
+		for _, tear := range tears {
+			path := filepath.Join(dir, fmt.Sprintf("kill%03d_tear%d.journal", kill, tear))
+			got, err := c.CrashAndResume(path, kill, tear)
+			if err != nil {
+				return trials, err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return trials, fmt.Errorf("chaos: kill=%d tear=%d: resumed result diverged from baseline", kill, tear)
+			}
+			trials++
+		}
+	}
+	return trials, nil
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/duv/iounit"
+)
+
+// chaosConfig is deliberately tiny: the sweep reruns the campaign twice
+// per kill point, so every simulation here is paid ~2x(records) times.
+func chaosConfig() core.Config {
+	return core.Config{
+		Seed:                  21,
+		Workers:               3,
+		CorpusSimsPerTemplate: 40,
+		TopTemplates:          2,
+		Subranges:             2,
+		SampleTemplates:       6,
+		SampleSims:            8,
+		OptIterations:         3,
+		OptDirections:         3,
+		OptSims:               10,
+		BestSims:              60,
+	}
+}
+
+func chaosCampaign() Campaign {
+	return Campaign{
+		NewFlow: func() *core.Flow { return core.NewFlow(iounit.New(), chaosConfig()) },
+		Run: func(f *core.Flow) (any, error) {
+			reports, err := f.RunFamilyRefined(iounit.FamilyName, 0.4, 1)
+			if err != nil {
+				return nil, err
+			}
+			return reports, nil
+		},
+	}
+}
+
+// TestKillAtEveryAppendBoundary is the PR's central robustness
+// property: a flow killed at ANY journal append — cleanly at the record
+// boundary, or mid-frame with a torn partial write on disk — must
+// resume into a bit-identical result. The sweep covers every record the
+// campaign journals.
+func TestKillAtEveryAppendBoundary(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	trials, err := chaosCampaign().Sweep(t.TempDir(), []int{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials < 20 {
+		t.Fatalf("sweep ran only %d trials; the campaign journals too few records to be a meaningful test", trials)
+	}
+	t.Logf("chaos sweep: %d crash+resume trials, all bit-identical", trials)
+
+	// Every killed flow was Closed; its workers must be gone. Allow the
+	// runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before sweep, %d after", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCrashAndResumeRejectsForeignFlow: the harness must not be able to
+// resume a journal into a flow with a different config — the guard the
+// whole bit-identity argument rests on.
+func TestCrashAndResumeRejectsForeignFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "victim.journal")
+	c := chaosCampaign()
+	victim := c.NewFlow()
+	if err := victim.StartJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	victim.Journal().Writer().FailAppends(3, 0)
+	if _, err := c.Run(victim); err == nil {
+		t.Fatal("injected kill did not fire")
+	}
+	victim.Close()
+
+	cfg := chaosConfig()
+	cfg.Seed = 99
+	other := core.NewFlow(iounit.New(), cfg)
+	defer other.Close()
+	if err := other.Resume(path); err == nil {
+		t.Fatal("foreign flow resumed a mismatched journal")
+	}
+}

@@ -22,10 +22,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coverage"
 	"repro/internal/duv"
+	"repro/internal/journal"
 	"repro/internal/neighbors"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -183,7 +185,9 @@ type Flow struct {
 	rec   *obs.Recorder // nil when observability is off
 	repo  *coverage.Repository
 	extra map[string]*template.Template // harvested templates, by name
-	round int                           // refinement round counter (names harvested templates)
+	round int                           // successfully harvested rounds (names harvested templates)
+	ctx   context.Context               // nil = never canceled
+	cur   *journal.Cursor               // nil = journaling off
 }
 
 // NewFlow creates a flow for the unit.
@@ -209,9 +213,30 @@ func NewFlow(unit duv.DUV, cfg Config) *Flow {
 // Env exposes the flow's batch environment (for accounting).
 func (f *Flow) Env() *sim.Env { return f.env }
 
-// Close releases the environment's worker pool. The flow must not be
-// run afterwards.
-func (f *Flow) Close() { f.env.Close() }
+// Close releases the environment's worker pool and the journal, if any.
+// The flow must not be run afterwards.
+func (f *Flow) Close() {
+	f.env.Close()
+	f.cur.Close()
+}
+
+// begin installs the run's context on the flow and its environment
+// (nil means never canceled). Entry points call it before any phase.
+func (f *Flow) begin(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f.ctx = ctx
+	f.env.SetContext(ctx)
+}
+
+// ctxErr is the flow's nil-tolerant cancellation probe.
+func (f *Flow) ctxErr() error {
+	if f.ctx == nil {
+		return nil
+	}
+	return f.ctx.Err()
+}
 
 // SetRepository installs a pre-built "Before CDG" corpus, so multiple
 // runs against the same unit share the expensive regression phase.
@@ -225,6 +250,14 @@ func (f *Flow) Repository() *coverage.Repository { return f.repo }
 // approximated target is the decay-weighted family (decay 1 = the
 // paper's plain family sum).
 func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
+	return f.RunFamilyContext(context.Background(), family, decay)
+}
+
+// RunFamilyContext is RunFamily with cancellation: ctx aborts the run
+// between simulations with ctx.Err(), leaving any journal consistent
+// for Resume.
+func (f *Flow) RunFamilyContext(ctx context.Context, family string, decay float64) (*Report, error) {
+	f.begin(ctx)
 	model := f.env.Unit().Model()
 	famIDs, ok := model.Family(family)
 	if !ok {
@@ -250,13 +283,19 @@ func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Run(neighbors.NewTarget(ws), targets)
+	return f.RunContext(ctx, neighbors.NewTarget(ws), targets)
 }
 
 // RunCross is the entry point for cross-product coverage (the paper's
 // IFU experiment): the targets are the cross's uncovered events, and the
 // approximated target spans the whole cross product uniformly.
 func (f *Flow) RunCross(crossName string) (*Report, error) {
+	return f.RunCrossContext(context.Background(), crossName)
+}
+
+// RunCrossContext is RunCross with cancellation (see RunFamilyContext).
+func (f *Flow) RunCrossContext(ctx context.Context, crossName string) (*Report, error) {
+	f.begin(ctx)
 	model := f.env.Unit().Model()
 	cp, ok := model.Cross(crossName)
 	if !ok {
@@ -281,7 +320,7 @@ func (f *Flow) RunCross(crossName string) (*Report, error) {
 		targets = ids
 	}
 	ph.End(map[string]any{"targets": len(targets), "approx_events": len(ids)})
-	return f.Run(neighbors.Uniform(ids), targets)
+	return f.RunContext(ctx, neighbors.Uniform(ids), targets)
 }
 
 // RunFamilyRefined repeats RunFamily up to rounds times, implementing
@@ -293,29 +332,41 @@ func (f *Flow) RunCross(crossName string) (*Report, error) {
 // skeleton of round k+1 starts from the best knowledge of round k. The
 // loop stops early once every family event has evidence.
 func (f *Flow) RunFamilyRefined(family string, decay float64, rounds int) ([]*Report, error) {
+	return f.RunFamilyRefinedContext(context.Background(), family, decay, rounds)
+}
+
+// RunFamilyRefinedContext is RunFamilyRefined with cancellation. The
+// loop is driven by the flow's harvested-round counter rather than a
+// local one, so a resumed flow replays its completed rounds and then
+// runs only the remainder of the campaign.
+func (f *Flow) RunFamilyRefinedContext(ctx context.Context, family string, decay float64, rounds int) ([]*Report, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
 	var reports []*Report
-	for round := 0; round < rounds; round++ {
-		report, err := f.RunFamily(family, decay)
+	for f.round < rounds {
+		if f.round > 0 && f.familyCovered(family) {
+			break
+		}
+		report, err := f.RunFamilyContext(ctx, family, decay)
 		if err != nil {
 			return reports, err
 		}
 		reports = append(reports, report)
-		model := f.env.Unit().Model()
-		famIDs, _ := model.Family(family)
-		uncovered := 0
-		for _, id := range famIDs {
-			if f.repo.Total().Hits(id) == 0 {
-				uncovered++
-			}
-		}
-		if uncovered == 0 {
-			break
-		}
 	}
 	return reports, nil
+}
+
+// familyCovered reports whether every event of the family has evidence
+// in the repository.
+func (f *Flow) familyCovered(family string) bool {
+	famIDs, _ := f.env.Unit().Model().Family(family)
+	for _, id := range famIDs {
+		if f.repo.Total().Hits(id) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *Flow) ensureCorpus() error {
@@ -325,7 +376,7 @@ func (f *Flow) ensureCorpus() error {
 	ph := f.rec.PhaseStart("corpus", map[string]any{
 		"sims_per_template": f.cfg.CorpusSimsPerTemplate,
 	})
-	repo, err := f.env.BuildCorpus(f.cfg.CorpusSimsPerTemplate)
+	repo, err := f.env.BuildCorpusJournaled(f.cfg.CorpusSimsPerTemplate, f.cur)
 	if err != nil {
 		ph.End(nil)
 		return err
@@ -338,10 +389,33 @@ func (f *Flow) ensureCorpus() error {
 // Run executes the flow for an approximated target and the list of real
 // target events.
 func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error) {
+	return f.RunContext(context.Background(), target, targetEvents)
+}
+
+// RunContext is Run with cancellation and journal replay. With a
+// journal armed (StartJournal/Resume), completed phases replay from the
+// record stream without simulating and the run re-enters live execution
+// mid-phase; either way the Report is bit-identical to an uninterrupted
+// unjournaled run. On cancellation the flow stops between simulations,
+// never journals post-cancellation state, and returns ctx.Err() — the
+// journal then resumes from the last completed record.
+func (f *Flow) RunContext(ctx context.Context, target *neighbors.Target, targetEvents []int) (*Report, error) {
+	f.begin(ctx)
+	report, err := f.run(target, targetEvents)
+	if err != nil && f.ctxErr() != nil {
+		f.rec.Counter("flow.cancellations").Inc()
+	}
+	return report, err
+}
+
+func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error) {
 	if target == nil || target.Len() == 0 {
 		return nil, fmt.Errorf("core: empty approximated target")
 	}
 	if err := f.ensureCorpus(); err != nil {
+		return nil, err
+	}
+	if err := f.syncRunStart(target, targetEvents); err != nil {
 		return nil, err
 	}
 	model := f.env.Unit().Model()
@@ -439,7 +513,46 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		"iterations": f.cfg.OptIterations, "directions": f.cfg.OptDirections,
 		"sims_per_point": f.cfg.OptSims, "start_score": bestStart,
 	})
+	// Replay checkpointed iterations: the last opt_iter record carries
+	// the complete resumable optimizer state and the cumulative phase
+	// aggregate, so the optimizer re-enters at the following iteration.
 	optPhase := coverage.NewCountsFor(model)
+	var optResume *opt.IterState
+	for {
+		var rec optIterRec
+		ok, err := f.cur.Take("opt_iter", &rec)
+		if err != nil {
+			phOpt.End(nil)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if len(rec.PhaseHits) != model.Size() {
+			phOpt.End(nil)
+			return nil, fmt.Errorf("core: journal opt_iter record has %d events, want %d", len(rec.PhaseHits), model.Size())
+		}
+		optPhase = coverage.CountsFromRaw(rec.PhaseHits, rec.PhaseSims)
+		st := rec.State
+		optResume = &st
+		f.env.RestoreCounters(rec.Batches, rec.EnvSims)
+	}
+	var batchErr error
+	checkpoint := func(st opt.IterState) error {
+		// An iteration evaluated on a failed or canceled batch must not
+		// reach the journal: its values are not real simulation results.
+		if batchErr != nil {
+			return batchErr
+		}
+		if err := f.ctxErr(); err != nil {
+			return err
+		}
+		hits, sims := optPhase.Raw()
+		return f.cur.Append("opt_iter", optIterRec{
+			State: st, PhaseHits: hits, PhaseSims: sims,
+			Batches: f.env.Batches(), EnvSims: f.env.Simulations(),
+		})
+	}
 	res, err := opt.ImplicitFiltering(nil, bestX, opt.Options{
 		Directions:       f.cfg.OptDirections,
 		InitialStep:      f.cfg.InitialStep,
@@ -450,9 +563,15 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 		Lo:               0,
 		Hi:               float64(skel.MaxWeight()),
 		RNG:              r.SplitString("optimize"),
-		Batch:            f.batchObjective(skel, target, optPhase),
+		Batch:            f.batchObjective(skel, target, optPhase, &batchErr),
 		Recorder:         f.rec,
+		Context:          f.ctx,
+		Checkpoint:       checkpoint,
+		Resume:           optResume,
 	})
+	if err == nil && batchErr != nil {
+		err = batchErr
+	}
 	if err != nil {
 		phOpt.End(nil)
 		return nil, err
@@ -467,16 +586,19 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	})
 
 	// Harvest (paper Section IV-F): measure the best template standalone.
-	f.round++
+	// The round counter advances only after the phase succeeds, so a
+	// failed harvest neither skips a round number nor leaves the report
+	// and repository half-updated.
 	report.BestWeights = res.X
+	name := fmt.Sprintf("%s_cdg_best_%d", f.env.Unit().Name(), f.round+1)
 	phHarvest := f.rec.PhaseStart("harvest", map[string]any{"sims": f.cfg.BestSims})
-	bestTemplate, err := skel.Instantiate(fmt.Sprintf("%s_cdg_best_%d", f.env.Unit().Name(), f.round), res.X)
+	bestTemplate, err := skel.Instantiate(name, res.X)
 	if err != nil {
 		phHarvest.End(nil)
 		return nil, err
 	}
 	report.BestTemplate = bestTemplate
-	bestCounts, err := f.env.Run(bestTemplate, f.cfg.BestSims)
+	bestCounts, err := f.harvestCounts(bestTemplate)
 	if err != nil {
 		phHarvest.End(nil)
 		return nil, err
@@ -493,37 +615,149 @@ func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error
 	// coarse-grained search may select it.
 	f.repo.RecordCounts(bestTemplate.Name, bestCounts)
 	f.extra[bestTemplate.Name] = bestTemplate
+	f.round++
 
 	report.TotalSims = f.env.Simulations() - simsAtStart
+	if err := f.syncRunDone(report.TotalSims); err != nil {
+		return nil, err
+	}
 	return report, nil
+}
+
+// harvestCounts measures the harvested template standalone — from the
+// journal when replaying, live (and journaled) otherwise.
+func (f *Flow) harvestCounts(tmpl *template.Template) (*coverage.Counts, error) {
+	var rec harvestRec
+	ok, err := f.cur.Take("harvest", &rec)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if rec.Name != tmpl.Name || len(rec.Hits) != f.env.Unit().Model().Size() {
+			return nil, fmt.Errorf("core: journal harvest record %q does not match template %q", rec.Name, tmpl.Name)
+		}
+		f.env.RestoreCounters(rec.Batches, rec.EnvSims)
+		return coverage.CountsFromRaw(rec.Hits, rec.Sims), nil
+	}
+	job, err := f.env.Submit(tmpl, f.cfg.BestSims)
+	if err != nil {
+		return nil, err
+	}
+	batches, envSims := f.env.Batches(), f.env.Simulations()
+	counts := job.Wait()
+	if err := f.ctxErr(); err != nil {
+		return nil, err
+	}
+	hits, sims := counts.Raw()
+	if err := f.cur.Append("harvest", harvestRec{
+		Name: tmpl.Name, Hits: hits, Sims: sims, Batches: batches, EnvSims: envSims,
+	}); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// syncRunStart validates (replay) or records (live) a run's opening
+// record: the real targets and the approximated target are pure
+// functions of the repository, so a mismatch means the journal belongs
+// to a different campaign.
+func (f *Flow) syncRunStart(target *neighbors.Target, targetEvents []int) error {
+	want := runStartRec{
+		Targets:       append([]int{}, targetEvents...),
+		ApproxEvents:  target.Events(),
+		ApproxWeights: target.Weights(),
+	}
+	var got runStartRec
+	ok, err := f.cur.Take("run_start", &got)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return f.cur.Append("run_start", want)
+	}
+	if !intsEqual(got.Targets, want.Targets) || !intsEqual(got.ApproxEvents, want.ApproxEvents) ||
+		!floatsEqual(got.ApproxWeights, want.ApproxWeights) {
+		return fmt.Errorf("core: journal run_start record does not match this run's targets (journal belongs to a different campaign)")
+	}
+	return nil
+}
+
+// syncRunDone validates (replay) or records (live) a run's closing
+// integrity check.
+func (f *Flow) syncRunDone(totalSims uint64) error {
+	var got runDoneRec
+	ok, err := f.cur.Take("run_done", &got)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return f.cur.Append("run_done", runDoneRec{Round: f.round, TotalSims: totalSims})
+	}
+	if got.Round != f.round || got.TotalSims != totalSims {
+		return fmt.Errorf("core: journal run_done record (round %d, %d sims) does not match this run (round %d, %d sims)",
+			got.Round, got.TotalSims, f.round, totalSims)
+	}
+	return nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // batchObjective builds the optimizer's objective: every point becomes a
 // (template, OptSims) job on the environment's scheduler. Points are
 // submitted in order — so batch seeds, and therefore results, match a
 // sequential evaluation exactly — and waited on in order, keeping the
-// phase aggregate's merge order deterministic too.
-func (f *Flow) batchObjective(skel *skeleton.Skeleton, target *neighbors.Target, phase *coverage.Counts) opt.BatchObjective {
+// phase aggregate's merge order deterministic too. A failure (closed or
+// canceled environment) is parked in errOut and zeros are returned; the
+// optimizer's checkpoint hook surfaces the error and aborts the run
+// before the poisoned values can be journaled or acted on.
+func (f *Flow) batchObjective(skel *skeleton.Skeleton, target *neighbors.Target, phase *coverage.Counts, errOut *error) opt.BatchObjective {
 	return func(points [][]float64) []float64 {
+		vals := make([]float64, len(points))
+		if *errOut != nil {
+			return vals
+		}
 		jobs := make([]*sim.Job, len(points))
 		for i, x := range points {
 			tmpl, err := skel.Instantiate("cand", x)
 			if err != nil {
-				// Instantiate only fails on dimension mismatch, which
-				// would be a programming error here.
-				panic(err)
+				*errOut = err
+				return vals
 			}
 			job, err := f.env.Submit(tmpl, f.cfg.OptSims)
 			if err != nil {
-				// Submit only fails on a closed environment, which would
-				// be a programming error mid-flow.
-				panic(err)
+				*errOut = err
+				return vals
 			}
 			jobs[i] = job
 		}
-		vals := make([]float64, len(points))
 		for i, job := range jobs {
 			counts := job.Wait()
+			if err := f.ctxErr(); err != nil {
+				*errOut = err
+				return vals
+			}
 			phase.Merge(counts)
 			vals[i] = target.Score(counts)
 		}
@@ -547,9 +781,40 @@ type sample struct {
 func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *coverage.Counts, error) {
 	model := f.env.Unit().Model()
 	aggregate := coverage.NewCountsFor(model)
-	jobs := make([]*sim.Job, 0, f.cfg.SampleTemplates)
-	samples := make([]sample, 0, f.cfg.SampleTemplates)
-	for i := 0; i < f.cfg.SampleTemplates; i++ {
+	n := f.cfg.SampleTemplates
+	samples := make([]sample, 0, n)
+	// Replay prefix: weights are still drawn from the RNG (the stream
+	// must advance exactly as the live run's did); the counts come from
+	// the journal and the environment's seeding counters are restored so
+	// the live remainder draws the original batch seeds.
+	for len(samples) < n {
+		var rec sampleRec
+		ok, err := f.cur.Take("sample", &rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		if rec.I != len(samples) || len(rec.Hits) != model.Size() {
+			return nil, nil, fmt.Errorf("core: journal sample record %d does not match phase index %d", rec.I, len(samples))
+		}
+		x := skel.RandomWeights(r)
+		counts := coverage.CountsFromRaw(rec.Hits, rec.Sims)
+		aggregate.Merge(counts)
+		samples = append(samples, sample{x: x, counts: counts})
+		f.env.RestoreCounters(rec.Batches, rec.EnvSims)
+	}
+	first := len(samples)
+	if first == n {
+		return samples, aggregate, nil
+	}
+	type pending struct {
+		job              *sim.Job
+		batches, envSims uint64
+	}
+	jobs := make([]pending, 0, n-first)
+	for i := first; i < n; i++ {
 		x := skel.RandomWeights(r)
 		tmpl, err := skel.Instantiate(fmt.Sprintf("sample_%03d", i), x)
 		if err != nil {
@@ -559,13 +824,22 @@ func (f *Flow) samplePhase(skel *skeleton.Skeleton, r *rng.RNG) ([]sample, *cove
 		if err != nil {
 			return nil, nil, err
 		}
-		jobs = append(jobs, job)
+		jobs = append(jobs, pending{job, f.env.Batches(), f.env.Simulations()})
 		samples = append(samples, sample{x: x})
 	}
-	for i, job := range jobs {
-		counts := job.Wait()
+	for k, p := range jobs {
+		counts := p.job.Wait()
+		if err := f.ctxErr(); err != nil {
+			return nil, nil, err
+		}
 		aggregate.Merge(counts)
-		samples[i].counts = counts
+		samples[first+k].counts = counts
+		hits, sims := counts.Raw()
+		if err := f.cur.Append("sample", sampleRec{
+			I: first + k, Hits: hits, Sims: sims, Batches: p.batches, EnvSims: p.envSims,
+		}); err != nil {
+			return nil, nil, err
+		}
 	}
 	return samples, aggregate, nil
 }

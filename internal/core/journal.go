@@ -1,0 +1,157 @@
+// Flow journaling: the crash-safe checkpoint/resume layer (DESIGN.md
+// §10). A journaled flow appends one record per unit of paid-for
+// simulation — corpus template aggregates, per-sample aggregates,
+// optimizer iteration states, harvest results — plus structural records
+// (header, run boundaries) that let Resume reject a journal belonging
+// to a different run. Replay is transparent: after StartJournal or
+// Resume, the normal entry points (RunContext and friends) consume the
+// journal's history instead of simulating, then switch to live
+// execution mid-phase, producing a Report bit-identical to an
+// uninterrupted run.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/journal"
+	"repro/internal/opt"
+)
+
+// flowHeader is the journal's first record. Resume compares it
+// field-for-field against the resuming flow: a journal written under a
+// different unit, seed, coverage model, or any result-relevant config
+// knob must not replay into this run. Throughput-only knobs (Workers,
+// Runner, RunnerLanes, Obs) are deliberately excluded — the flow is
+// bit-identical across them, so a run may resume on different hardware.
+type flowHeader struct {
+	Kind    string `json:"kind"`
+	Unit    string `json:"unit"`
+	Seed    uint64 `json:"seed"`
+	Events  int    `json:"events"`
+	CfgHash uint64 `json:"cfg_hash"`
+}
+
+// cfgHash digests the result-relevant Config fields.
+func cfgHash(c Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%t|%d|%d|%d|%d|%d|%v|%v|%t|%v|%d",
+		c.Seed, c.CorpusSimsPerTemplate, c.TopTemplates,
+		c.Subranges, c.SubrangeMode, c.IncludeZeroWeights,
+		c.SampleTemplates, c.SampleSims,
+		c.OptIterations, c.OptDirections, c.OptSims,
+		c.InitialStep, c.MinStep, c.NoResampleCenter, c.TargetValue,
+		c.BestSims)
+	return h.Sum64()
+}
+
+func (f *Flow) header() flowHeader {
+	return flowHeader{
+		Kind:    "flow",
+		Unit:    f.env.Unit().Name(),
+		Seed:    f.cfg.Seed,
+		Events:  f.env.Unit().Model().Size(),
+		CfgHash: cfgHash(f.cfg),
+	}
+}
+
+// runStartRec opens one Run's record group. The targets and the
+// approximated target are recomputed on replay (they are pure functions
+// of the repository) and validated against the record, catching a
+// journal that belongs to a different campaign before any divergence.
+type runStartRec struct {
+	Targets       []int     `json:"targets"`
+	ApproxEvents  []int     `json:"approx_events"`
+	ApproxWeights []float64 `json:"approx_weights"`
+}
+
+// sampleRec is one random-sample point's aggregate, with the
+// environment's seeding counters captured right after the sample's
+// batch was submitted (replay restores them so later submissions draw
+// the original seeds).
+type sampleRec struct {
+	I       int      `json:"i"`
+	Hits    []uint64 `json:"hits"`
+	Sims    uint64   `json:"sims"`
+	Batches uint64   `json:"batches"`
+	EnvSims uint64   `json:"env_sims"`
+}
+
+// optIterRec checkpoints one optimizer iteration: the resumable
+// IterState plus the cumulative optimization-phase aggregate and the
+// environment counters after the iteration's submissions.
+type optIterRec struct {
+	State     opt.IterState `json:"state"`
+	PhaseHits []uint64      `json:"phase_hits"`
+	PhaseSims uint64        `json:"phase_sims"`
+	Batches   uint64        `json:"batches"`
+	EnvSims   uint64        `json:"env_sims"`
+}
+
+// harvestRec is the harvested template's standalone evaluation.
+type harvestRec struct {
+	Name    string   `json:"name"`
+	Hits    []uint64 `json:"hits"`
+	Sims    uint64   `json:"sims"`
+	Batches uint64   `json:"batches"`
+	EnvSims uint64   `json:"env_sims"`
+}
+
+// runDoneRec closes a Run's record group; replay validates the round
+// counter and simulation total as an end-to-end integrity check.
+type runDoneRec struct {
+	Round     int    `json:"round"`
+	TotalSims uint64 `json:"total_sims"`
+}
+
+// StartJournal creates a fresh journal at path and arms the flow to
+// checkpoint into it. Call before the first Run*; the flow owns the
+// journal and closes it with Close.
+func (f *Flow) StartJournal(path string) error {
+	w, err := journal.Create(path, f.rec)
+	if err != nil {
+		return err
+	}
+	cur := journal.NewCursor(w, nil)
+	if err := cur.Append("flow_header", f.header()); err != nil {
+		w.Close()
+		return err
+	}
+	f.cur = cur
+	return nil
+}
+
+// Resume recovers the journal at path (truncating any torn tail) and
+// arms the flow to replay it: the next Run* calls — with the same
+// arguments as the interrupted run — consume the journal's history
+// instead of simulating, re-enter mid-phase where it ends, and continue
+// live, appending to the same journal. The journal's header must match
+// this flow's unit, seed, coverage model, and result-relevant config.
+func (f *Flow) Resume(path string) error {
+	recs, w, err := journal.Recover(path, f.rec)
+	if err != nil {
+		return err
+	}
+	cur := journal.NewCursor(w, recs)
+	var got flowHeader
+	ok, err := cur.Take("flow_header", &got)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if want := f.header(); !ok || got != want {
+		w.Close()
+		return fmt.Errorf("core: journal %s does not match this flow (unit %q, seed %d, config hash %#x)",
+			path, want.Unit, want.Seed, want.CfgHash)
+	}
+	f.cur = cur
+	f.rec.Counter("flow.resumes").Inc()
+	return nil
+}
+
+// Journal exposes the flow's journal cursor (nil when journaling is
+// off) — the chaos harness arms fault injection through it.
+func (f *Flow) Journal() *journal.Cursor { return f.cur }
+
+// Round returns the number of successfully harvested rounds.
+func (f *Flow) Round() int { return f.round }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/obs"
+)
+
+// journalTestConfig is the small iounit campaign the journal tests run:
+// big enough to exercise every phase, small enough to run many times.
+func journalTestConfig() Config {
+	return Config{
+		Seed:                  21,
+		Workers:               3,
+		CorpusSimsPerTemplate: 120,
+		TopTemplates:          2,
+		Subranges:             3,
+		SampleTemplates:       12,
+		SampleSims:            20,
+		OptIterations:         5,
+		OptDirections:         5,
+		OptSims:               25,
+		BestSims:              250,
+	}
+}
+
+func runRefined(t *testing.T, flow *Flow, rounds int) []*Report {
+	t.Helper()
+	reports, err := flow.RunFamilyRefined(iounit.FamilyName, 0.4, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+// TestJournaledRunMatchesPlainRun: journaling on (StartJournal) must
+// not perturb a run — every Report is bit-identical to the unjournaled
+// flow's — and a full replay of the finished journal must reproduce the
+// same Reports without simulating anything.
+func TestJournaledRunMatchesPlainRun(t *testing.T) {
+	const rounds = 2
+	plain := NewFlow(iounit.New(), journalTestConfig())
+	defer plain.Close()
+	want := runRefined(t, plain, rounds)
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	live := NewFlow(iounit.New(), journalTestConfig())
+	if err := live.StartJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	got := runRefined(t, live, rounds)
+	live.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("journaled run diverged from plain run")
+	}
+
+	replay := NewFlow(iounit.New(), journalTestConfig())
+	defer replay.Close()
+	if err := replay.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	replayed := runRefined(t, replay, rounds)
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatal("replayed run diverged from plain run")
+	}
+	if sims := replay.Env().Simulations(); sims != plain.Env().Simulations() {
+		t.Fatalf("replay's simulation counter = %d, want the original %d", sims, plain.Env().Simulations())
+	}
+	if replay.Round() != rounds {
+		t.Fatalf("replayed flow round = %d, want %d", replay.Round(), rounds)
+	}
+}
+
+// TestResumeRejectsMismatchedFlow: a journal must only resume into a
+// flow with the identical unit, seed, and result-relevant config.
+func TestResumeRejectsMismatchedFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	flow := NewFlow(iounit.New(), journalTestConfig())
+	if err := flow.StartJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	flow.Close()
+
+	seedCfg := journalTestConfig()
+	seedCfg.Seed = 22
+	other := NewFlow(iounit.New(), seedCfg)
+	defer other.Close()
+	if err := other.Resume(path); err == nil {
+		t.Fatal("resume with a different seed succeeded")
+	}
+
+	simsCfg := journalTestConfig()
+	simsCfg.OptSims = 26
+	tweaked := NewFlow(iounit.New(), simsCfg)
+	defer tweaked.Close()
+	if err := tweaked.Resume(path); err == nil {
+		t.Fatal("resume with a different config succeeded")
+	}
+
+	// Throughput-only knobs must NOT block a resume: a run may move to a
+	// machine with a different worker count.
+	workersCfg := journalTestConfig()
+	workersCfg.Workers = 7
+	moved := NewFlow(iounit.New(), workersCfg)
+	defer moved.Close()
+	if err := moved.Resume(path); err != nil {
+		t.Fatalf("resume with a different worker count failed: %v", err)
+	}
+
+	if err := moved.Resume(filepath.Join(t.TempDir(), "missing.journal")); err == nil {
+		t.Fatal("resume of a missing journal succeeded")
+	}
+}
+
+// cancelOnPhase is an obs progress sink that cancels a context the
+// moment a named phase starts — a deterministic way to interrupt the
+// flow at an exact phase boundary.
+type cancelOnPhase struct {
+	needle []byte
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnPhase) Write(p []byte) (int, error) {
+	if bytes.Contains(p, c.needle) {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestRoundSurvivesFailedHarvest is the regression test for the
+// round-counter leak: a run that dies inside the harvest phase must not
+// consume a round number, and the next successful run must harvest
+// round 1, not round 2.
+func TestRoundSurvivesFailedHarvest(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &cancelOnPhase{needle: []byte(`"phase":"harvest"`), cancel: cancel}
+	rec := obs.NewRecorder()
+	rec.Progress = obs.NewProgress(sink)
+	cfg := journalTestConfig()
+	cfg.Obs = rec
+
+	flow := NewFlow(iounit.New(), cfg)
+	defer flow.Close()
+	_, err := flow.RunFamilyContext(ctx, iounit.FamilyName, 0.4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if flow.Round() != 0 {
+		t.Fatalf("failed harvest consumed round: Round() = %d, want 0", flow.Round())
+	}
+	if got := rec.Counter("flow.cancellations").Value(); got != 1 {
+		t.Fatalf("flow.cancellations = %d, want 1", got)
+	}
+
+	// A fresh context completes the run; the harvested template must be
+	// round 1 — no skipped number.
+	rec.Progress = nil
+	report, err := flow.RunFamilyContext(context.Background(), iounit.FamilyName, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(report.BestTemplate.Name, "_cdg_best_1") {
+		t.Fatalf("harvested template %q, want round-1 name", report.BestTemplate.Name)
+	}
+	if flow.Round() != 1 {
+		t.Fatalf("Round() = %d, want 1", flow.Round())
+	}
+}

@@ -147,6 +147,7 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 		phOpt := f.rec.PhaseStart("optimization", map[string]any{
 			"target": model.Name(ev), "start_score": startScore,
 		})
+		var batchErr error
 		res, err := opt.ImplicitFiltering(nil, x0, opt.Options{
 			Directions:       f.cfg.OptDirections,
 			InitialStep:      f.cfg.InitialStep,
@@ -157,9 +158,14 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			Lo:               0,
 			Hi:               float64(skel.MaxWeight()),
 			RNG:              r.SplitString("optimize-" + model.Name(ev)),
-			Batch:            f.batchObjective(skel, target, optPhase),
+			Batch:            f.batchObjective(skel, target, optPhase, &batchErr),
 			Recorder:         f.rec,
+			Context:          f.ctx,
+			Checkpoint:       func(opt.IterState) error { return batchErr },
 		})
+		if err == nil && batchErr != nil {
+			err = batchErr
+		}
 		if err != nil {
 			phOpt.End(nil)
 			return nil, err
@@ -173,7 +179,6 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 			Counts: optPhase,
 		})
 
-		f.round++
 		report.BestWeights = res.X
 		phHarvest := f.rec.PhaseStart("harvest", map[string]any{
 			"target": model.Name(ev), "sims": f.cfg.BestSims,
@@ -198,6 +203,7 @@ func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error
 		})
 		f.repo.RecordCounts(bestTemplate.Name, bestCounts)
 		f.extra[bestTemplate.Name] = bestTemplate
+		f.round++
 
 		// Per-target accounting: this target's own spend plus its share
 		// of the common phases.

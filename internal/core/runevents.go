@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/neighbors"
@@ -18,6 +19,12 @@ import (
 // repository — for fully dark targets, structural neighbors (RunFamily,
 // RunCross) are the right tool, exactly as in the paper.
 func (f *Flow) RunEvents(eventNames []string, minSim float64) (*Report, error) {
+	return f.RunEventsContext(context.Background(), eventNames, minSim)
+}
+
+// RunEventsContext is RunEvents with cancellation (see RunFamilyContext).
+func (f *Flow) RunEventsContext(ctx context.Context, eventNames []string, minSim float64) (*Report, error) {
+	f.begin(ctx)
 	if len(eventNames) == 0 {
 		return nil, fmt.Errorf("core: no target events given")
 	}
@@ -35,5 +42,5 @@ func (f *Flow) RunEvents(eventNames []string, minSim float64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Run(neighbors.NewTarget(ws), targets)
+	return f.RunContext(ctx, neighbors.NewTarget(ws), targets)
 }

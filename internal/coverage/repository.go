@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/atomicfile"
 )
 
 // Repository is the coverage repository of paper Section III: a summary
@@ -164,17 +166,11 @@ func (r *Repository) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// SaveFile writes the repository to the named file.
+// SaveFile writes the repository to the named file atomically (temp
+// file + fsync + rename): a crash mid-save leaves any previous
+// repository intact instead of a truncated JSON document.
 func (r *Repository) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := r.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, r.Save)
 }
 
 // Load reads a repository previously written by Save. The stored event

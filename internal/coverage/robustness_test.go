@@ -1,0 +1,102 @@
+package coverage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func savedRepoBytes(t *testing.T) (*Model, []byte) {
+	t.Helper()
+	m := testModel(t)
+	repo := NewRepository(m)
+	r := rng.New(7)
+	for s := 0; s < 60; s++ {
+		v := NewVectorFor(m)
+		for i := 0; i < m.Size(); i++ {
+			if r.Bool(0.4) {
+				v.Set(i)
+			}
+		}
+		repo.Record("t"+string(rune('a'+s%4)), v)
+	}
+	var buf bytes.Buffer
+	if err := repo.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+// TestRepositoryLoadTruncated: every proper prefix of a saved
+// repository must be rejected with an error — a crash mid-save (or a
+// partially copied file) must never panic or load silently wrong data.
+// (SaveFile's atomic write-rename makes such files unreachable through
+// the normal path; this guards hand-copied or NFS-mangled ones.)
+func TestRepositoryLoadTruncated(t *testing.T) {
+	m, data := savedRepoBytes(t)
+	// data ends "}\n"; every cut strictly inside the document is invalid.
+	for n := 0; n < len(data)-1; n++ {
+		if _, err := Load(bytes.NewReader(data[:n]), m); err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded successfully", n, len(data))
+		}
+	}
+}
+
+// TestRepositoryLoadCorrupt: bit-flipped bytes anywhere in the document
+// must never panic. (A flip inside a numeric literal can still be valid
+// JSON — that is what end-to-end checksums are for — but the loader
+// must stay memory-safe and structurally strict.)
+func TestRepositoryLoadCorrupt(t *testing.T) {
+	m, data := savedRepoBytes(t)
+	for off := 0; off < len(data); off += 3 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5a
+		_, _ = Load(bytes.NewReader(mut), m) // must not panic
+	}
+	// Structural corruption that stays syntactically valid must error.
+	var err error
+	if _, err = Load(bytes.NewReader([]byte(`{"events":["only"],"sims":1}`)), m); err == nil {
+		t.Fatal("wrong event list accepted")
+	}
+	if _, err = Load(bytes.NewReader([]byte(`{}`)), m); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+// TestRepositorySaveFileAtomic: SaveFile over an existing (corrupt)
+// file must fully replace it, and leave no temp droppings behind.
+func TestRepositorySaveFileAtomic(t *testing.T) {
+	m, data := savedRepoBytes(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repo.json")
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, m); err == nil {
+		t.Fatal("corrupt half-file loaded")
+	}
+	repo := NewRepository(m)
+	v := NewVectorFor(m)
+	v.Set(0)
+	repo.Record("fresh", v)
+	if err := repo.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sims() != 1 {
+		t.Fatalf("reloaded sims = %d, want 1", loaded.Sims())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just repo.json", len(entries))
+	}
+}

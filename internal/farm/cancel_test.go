@@ -1,0 +1,79 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func cancelChunk() sim.RemoteChunk {
+	return sim.RemoteChunk{
+		Unit: iounit.UnitName, Seed: 7, Lo: 0, Hi: 16,
+		Events: iounit.New().Model().Size(),
+	}
+}
+
+// TestRunChunkCanceledContext: once the dispatcher's context is
+// canceled, queued remote work fails immediately with the context's
+// error (the scheduler's abort path then drops the chunk without
+// simulating) and the cancellation is counted.
+func TestRunChunkCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	lb := NewLoopback()
+	srv := NewServer(ServerOptions{Capacity: 2})
+	defer srv.Shutdown()
+	lb.Add("a", srv, Faults{})
+	rec := obs.NewRecorder()
+	opts := testOptions(lb.Dial, rec)
+	opts.Context = ctx
+	d := New([]string{"a"}, opts)
+	defer d.Close()
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := d.RunChunk(cancelChunk()); err != nil {
+		t.Fatalf("healthy RunChunk: %v", err)
+	}
+	cancel()
+	if _, err := d.RunChunk(cancelChunk()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunChunk after cancel: err = %v, want context.Canceled", err)
+	}
+	if got := rec.Counter("farm.chunks_canceled").Value(); got != 1 {
+		t.Fatalf("farm.chunks_canceled = %d, want 1", got)
+	}
+}
+
+// TestCancelUnblocksAcquire: a cancellation arriving while RunChunk is
+// waiting for a connection (dead fleet, long AcquireTimeout) unblocks
+// it promptly instead of burning the full timeout and retry backoff.
+func TestCancelUnblocksAcquire(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	lb := NewLoopback() // no workers registered: acquire always blocks
+	opts := testOptions(lb.Dial, nil)
+	opts.AcquireTimeout = 30 * time.Second
+	opts.Context = ctx
+	d := New(nil, opts)
+	defer d.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.RunChunk(cancelChunk())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("RunChunk succeeded with no workers")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunChunk still blocked long after cancellation")
+	}
+}

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -55,6 +56,11 @@ type Options struct {
 	// Rec receives dispatcher metrics and per-worker trace lanes (nil
 	// disables).
 	Rec *obs.Recorder
+	// Context, when non-nil, cancels queued remote work: RunChunk stops
+	// retrying, acquiring, and backing off the moment it is done, and
+	// new calls fail immediately with its error. In-flight exchanges
+	// drain under their ChunkTimeout as usual.
+	Context context.Context
 }
 
 func (o *Options) setDefaults() {
@@ -119,9 +125,27 @@ type Dispatcher struct {
 	mErrors    *obs.Counter
 	mRetries   *obs.Counter
 	mEvicts    *obs.Counter
+	mCanceled  *obs.Counter
 	mInflight  *obs.Gauge
 	hRPCNs     *obs.Histogram
 	tracer     *obs.Tracer
+}
+
+// ctxDone returns the configured context's done channel (nil — blocking
+// forever — when no context was given).
+func (d *Dispatcher) ctxDone() <-chan struct{} {
+	if d.opts.Context == nil {
+		return nil
+	}
+	return d.opts.Context.Done()
+}
+
+// ctxErr reports the configured context's error, if any.
+func (d *Dispatcher) ctxErr() error {
+	if d.opts.Context == nil {
+		return nil
+	}
+	return d.opts.Context.Err()
 }
 
 // wconn is one live worker connection. It is owned by exactly one
@@ -157,6 +181,7 @@ func New(addrs []string, opts Options) *Dispatcher {
 		d.mErrors = rec.Counter("farm.chunk_errors")
 		d.mRetries = rec.Counter("farm.retries")
 		d.mEvicts = rec.Counter("farm.conn_evictions")
+		d.mCanceled = rec.Counter("farm.chunks_canceled")
 		d.mInflight = rec.Gauge("farm.inflight")
 		d.hRPCNs = rec.Histogram("farm.rpc_ns", obs.LatencyBounds())
 		d.tracer = rec.Trace
@@ -204,11 +229,22 @@ func (d *Dispatcher) RunChunk(c sim.RemoteChunk) (*coverage.Counts, error) {
 		return nil, ErrDispatcherClosed
 	default:
 	}
+	if err := d.ctxErr(); err != nil {
+		d.mCanceled.Inc()
+		return nil, err
+	}
 	var lastErr error
 	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
 		if attempt > 0 {
 			d.mRetries.Inc()
 			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, attempt-1))
+		}
+		if err := d.ctxErr(); err != nil {
+			d.mCanceled.Inc()
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
 		}
 		w := d.acquire()
 		if w == nil {
@@ -295,6 +331,8 @@ func (d *Dispatcher) acquire() *wconn {
 			}
 			return w
 		case <-deadline.C:
+			return nil
+		case <-d.ctxDone():
 			return nil
 		case <-d.closed:
 			return nil
@@ -489,10 +527,12 @@ func (d *Dispatcher) Close() {
 	}
 }
 
-// sleep waits for dur unless the dispatcher closes first.
+// sleep waits for dur unless the dispatcher closes or its context is
+// canceled first.
 func (d *Dispatcher) sleep(dur time.Duration) {
 	select {
 	case <-time.After(dur):
+	case <-d.ctxDone():
 	case <-d.closed:
 	}
 }

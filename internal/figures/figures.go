@@ -12,7 +12,10 @@
 package figures
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
@@ -45,6 +48,15 @@ type Options struct {
 	// without it.
 	Runner      sim.ChunkRunner
 	RunnerLanes int
+	// Ctx, when non-nil, cancels the figure run: the current flow
+	// checkpoints (if journaled) and returns context.Canceled.
+	Ctx context.Context
+	// JournalDir, when non-empty, checkpoints each figure's flow into
+	// <JournalDir>/<figN>.journal (crash-safe, see internal/journal).
+	JournalDir string
+	// Resume recovers existing journals in JournalDir instead of
+	// starting over; figures whose journal is missing start fresh.
+	Resume bool
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +70,29 @@ func (o Options) withDefaults() Options {
 		o.Rounds = 5
 	}
 	return o
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// arm attaches the figure's journal to its flow. With Resume set, an
+// existing journal is recovered and replayed; a missing one (the
+// previous run died before reaching this figure) starts fresh.
+func (o Options) arm(flow *core.Flow, name string) error {
+	if o.JournalDir == "" {
+		return nil
+	}
+	path := filepath.Join(o.JournalDir, name+".journal")
+	if o.Resume {
+		if _, err := os.Stat(path); err == nil {
+			return flow.Resume(path)
+		}
+	}
+	return flow.StartJournal(path)
 }
 
 func scaled(n int, scale float64) int {
@@ -124,7 +159,11 @@ func Fig3(opts Options) (*Result, error) {
 		BestSims:              scaled(10000, opts.Scale*10),
 	}
 	flow := core.NewFlow(unit, cfg)
-	reports, err := flow.RunFamilyRefined(iounit.FamilyName, 0.4, opts.Rounds)
+	defer flow.Close()
+	if err := opts.arm(flow, "fig3"); err != nil {
+		return nil, err
+	}
+	reports, err := flow.RunFamilyRefinedContext(opts.ctx(), iounit.FamilyName, 0.4, opts.Rounds)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +214,11 @@ func Fig4(opts Options) (*Result, error) {
 		BestSims:              scaled(15000, opts.Scale*10),
 	}
 	flow := core.NewFlow(unit, cfg)
-	reports, err := flow.RunFamilyRefined(l3cache.FamilyName, 0.4, opts.Rounds)
+	defer flow.Close()
+	if err := opts.arm(flow, "fig4"); err != nil {
+		return nil, err
+	}
+	reports, err := flow.RunFamilyRefinedContext(opts.ctx(), l3cache.FamilyName, 0.4, opts.Rounds)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +269,11 @@ func Fig5(opts Options) (*Result, error) {
 		BestSims:              scaled(20000, opts.Scale*10),
 	}
 	flow := core.NewFlow(unit, cfg)
-	report, err := flow.RunCross(ifu.CrossName)
+	defer flow.Close()
+	if err := opts.arm(flow, "fig5"); err != nil {
+		return nil, err
+	}
+	report, err := flow.RunCrossContext(opts.ctx(), ifu.CrossName)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,6 +78,26 @@ type Options struct {
 	// center resamples into the metrics registry. Purely observational:
 	// the trajectory is identical with it set or nil.
 	Recorder *obs.Recorder
+	// Context, when non-nil, cancels the run between evaluations: the
+	// optimizer returns the best-so-far partial Result together with the
+	// context's error (stencil optimizers only).
+	Context context.Context
+	// Checkpoint, when non-nil, is called after every completed
+	// ImplicitFiltering iteration with the run's resumable state. An
+	// error aborts the run with that error — the flow's journaling hook.
+	Checkpoint func(IterState) error
+	// Resume, when non-nil, re-enters an ImplicitFiltering run from a
+	// previous checkpoint instead of starting at x0: the trajectory
+	// continues exactly as the uninterrupted run would have.
+	Resume *IterState
+}
+
+// ctxErr is the nil-tolerant cancellation probe (nil = never canceled).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func (o Options) withDefaults() Options {
@@ -105,11 +126,30 @@ func (o Options) withDefaults() Options {
 // IterRecord captures one optimizer iteration for progress plots (the
 // paper's Fig. 6 series).
 type IterRecord struct {
-	Iter  int
-	Best  float64 // best objective value observed this iteration
-	Step  float64 // stencil size during the iteration
-	Moved bool    // whether the center moved
-	Evals int     // cumulative objective calls after the iteration
+	Iter  int     `json:"iter"`
+	Best  float64 `json:"best"`  // best objective value observed this iteration
+	Step  float64 `json:"step"`  // stencil size during the iteration
+	Moved bool    `json:"moved"` // whether the center moved
+	Evals int     `json:"evals"` // cumulative objective calls after the iteration
+}
+
+// IterState is a checkpoint of an ImplicitFiltering run taken after a
+// completed iteration: the stencil state, the running best, the RNG's
+// raw state, and the history so far — everything needed to re-enter the
+// loop at the next iteration and reproduce the uninterrupted run's
+// trajectory bit for bit. It round-trips through JSON exactly (Go's
+// float64 encoding is shortest-representation, which decodes to the
+// identical bits), which is what makes journal replay byte-faithful.
+type IterState struct {
+	Iter        int          `json:"iter"`
+	Center      []float64    `json:"center"`
+	Best        float64      `json:"best"`
+	Step        float64      `json:"step"`
+	OverallBest float64      `json:"overall_best"`
+	OverallX    []float64    `json:"overall_x"`
+	Evals       int          `json:"evals"`
+	RNGState    uint64       `json:"rng_state"`
+	History     []IterRecord `json:"history"`
 }
 
 // Result is the outcome of an optimization run.
@@ -262,12 +302,39 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 	oo := newOptObs(opts.Recorder)
 
 	h := opts.InitialStep
-	best := ev.one(center)
-	overallBest := best
-	overallX := append([]float64(nil), center...)
+	var best, overallBest float64
+	var overallX []float64
 	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
+	startIter := 1
+	if st := opts.Resume; st != nil {
+		center = append([]float64(nil), st.Center...)
+		best = st.Best
+		h = st.Step
+		overallBest = st.OverallBest
+		overallX = append([]float64(nil), st.OverallX...)
+		ev.evals = st.Evals
+		history = append(history, st.History...)
+		opts.RNG = rng.New(st.RNGState)
+		startIter = st.Iter + 1
+		// Re-apply the stop conditions the uninterrupted run checked right
+		// after this iteration, so resuming from a final checkpoint returns
+		// the same Result instead of running extra iterations.
+		if (opts.TargetValue > 0 && overallBest >= opts.TargetValue) || h < opts.MinStep {
+			return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, nil
+		}
+	} else {
+		if err := ctxErr(opts.Context); err != nil {
+			return Result{}, err
+		}
+		best = ev.one(center)
+		overallBest = best
+		overallX = append([]float64(nil), center...)
+	}
 
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
+	for iter := startIter; iter <= opts.MaxIterations; iter++ {
+		if err := ctxErr(opts.Context); err != nil {
+			return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, err
+		}
 		if ev.remaining(opts.MaxEvals) <= 0 {
 			break
 		}
@@ -322,6 +389,23 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 			sp.End()
 		}
 		oo.iter("implicit_filtering", rec, overallBest)
+
+		if opts.Checkpoint != nil {
+			st := IterState{
+				Iter:        iter,
+				Center:      append([]float64(nil), center...),
+				Best:        best,
+				Step:        h,
+				OverallBest: overallBest,
+				OverallX:    append([]float64(nil), overallX...),
+				Evals:       ev.evals,
+				RNGState:    opts.RNG.State(),
+				History:     append([]IterRecord(nil), history...),
+			}
+			if err := opts.Checkpoint(st); err != nil {
+				return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, err
+			}
+		}
 
 		if opts.TargetValue > 0 && overallBest >= opts.TargetValue {
 			break
@@ -392,10 +476,16 @@ func CompassSearch(f Objective, x0 []float64, opts Options) (Result, error) {
 	ev := &evaluator{f: f, batch: opts.Batch, mEvals: opts.Recorder.Counter("opt.evals")}
 	oo := newOptObs(opts.Recorder)
 	h := opts.InitialStep
+	if err := ctxErr(opts.Context); err != nil {
+		return Result{}, err
+	}
 	best := ev.one(center)
 	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if err := ctxErr(opts.Context); err != nil {
+			return Result{X: center, Value: best, Evals: ev.evals, History: history}, err
+		}
 		if ev.remaining(opts.MaxEvals) <= 0 {
 			break
 		}

@@ -1,0 +1,165 @@
+package opt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// resumeOpts is a small deterministic run with every stop criterion in
+// play (iterations, min step, target value all reachable).
+func resumeOpts() Options {
+	return Options{
+		Directions:    6,
+		MaxIterations: 18,
+		MinStep:       0.5,
+		RNG:           rng.New(9),
+	}
+}
+
+// TestResumeFromEveryCheckpointIsBitIdentical runs a full optimization
+// collecting a checkpoint per iteration, then restarts from every one of
+// them: each resumed run must return a Result bit-identical to the
+// uninterrupted run, and must not re-evaluate points the original
+// already paid for.
+func TestResumeFromEveryCheckpointIsBitIdentical(t *testing.T) {
+	x0 := []float64{10, 20, 30}
+	var states []IterState
+	opts := resumeOpts()
+	opts.Checkpoint = func(st IterState) error {
+		states = append(states, st)
+		return nil
+	}
+	want, err := ImplicitFiltering(sphere, x0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != len(want.History) {
+		t.Fatalf("%d checkpoints for %d iterations", len(states), len(want.History))
+	}
+
+	for k, st := range states {
+		// Round-trip the state through JSON, as the journal does: Go's
+		// shortest-representation float encoding must preserve every bit.
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back IterState
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, st) {
+			t.Fatalf("checkpoint %d does not survive a JSON round-trip", k)
+		}
+
+		evals := 0
+		counting := func(x []float64) float64 { evals++; return sphere(x) }
+		ropts := resumeOpts()
+		ropts.Resume = &back
+		got, err := ImplicitFiltering(counting, x0, ropts)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resume from checkpoint %d diverged:\n got %+v\nwant %+v", k, got, want)
+		}
+		if evals != want.Evals-st.Evals {
+			t.Fatalf("resume from checkpoint %d re-evaluated: %d evals, want %d",
+				k, evals, want.Evals-st.Evals)
+		}
+	}
+}
+
+// TestResumeAfterTargetValueStop: resuming from the final checkpoint of
+// a run that stopped on TargetValue must return immediately with the
+// identical Result, not run further iterations.
+func TestResumeAfterTargetValueStop(t *testing.T) {
+	x0 := []float64{65, 65}
+	var states []IterState
+	opts := resumeOpts()
+	opts.TargetValue = -100
+	opts.Checkpoint = func(st IterState) error { states = append(states, st); return nil }
+	want, err := ImplicitFiltering(sphere, x0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Value < -100 {
+		t.Fatalf("run did not reach target (value %v)", want.Value)
+	}
+	evals := 0
+	ropts := resumeOpts()
+	ropts.TargetValue = -100
+	ropts.Resume = &states[len(states)-1]
+	got, err := ImplicitFiltering(func(x []float64) float64 { evals++; return sphere(x) }, x0, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != 0 {
+		t.Fatalf("resume from a finished run evaluated %d points", evals)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resume from a finished run diverged")
+	}
+}
+
+// TestImplicitFilteringCancel: a canceled context stops the run between
+// evaluations with ctx.Err() and the best-so-far partial result.
+func TestImplicitFilteringCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	iters := 0
+	opts := resumeOpts()
+	opts.Context = ctx
+	opts.Checkpoint = func(IterState) error {
+		if iters++; iters == 3 {
+			cancel()
+		}
+		return nil
+	}
+	res, err := ImplicitFiltering(sphere, []float64{10, 10}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.History) != 3 {
+		t.Fatalf("history has %d iterations after cancel at 3", len(res.History))
+	}
+
+	// Canceled before the first evaluation: zero work.
+	evals := 0
+	copts := resumeOpts()
+	copts.Context = ctx
+	if _, err := ImplicitFiltering(func(x []float64) float64 { evals++; return 0 }, []float64{1}, copts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evals != 0 {
+		t.Fatalf("canceled run evaluated %d points", evals)
+	}
+	if _, err := CompassSearch(sphere, []float64{1, 2}, copts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompassSearch err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckpointErrorAborts: a failing checkpoint (e.g. a poisoned
+// journal writer) aborts the run with that error.
+func TestCheckpointErrorAborts(t *testing.T) {
+	boom := errors.New("journal full")
+	iters := 0
+	opts := resumeOpts()
+	opts.Checkpoint = func(IterState) error {
+		if iters++; iters == 2 {
+			return boom
+		}
+		return nil
+	}
+	res, err := ImplicitFiltering(sphere, []float64{10, 10}, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the checkpoint error", err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("history has %d iterations after abort at 2", len(res.History))
+	}
+}

@@ -1,0 +1,93 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/template"
+)
+
+// TestSuiteSaveLoadRoundTrip: a saved suite — template sources included
+// — must reload into identical entries, and re-saving the loaded suite
+// must produce byte-identical JSON.
+func TestSuiteSaveLoadRoundTrip(t *testing.T) {
+	s, m := testSuite(t)
+	tmpl, err := template.Parse(`template rt {
+    weight Command {
+        dma_read:  70;
+        crc:       30;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("rt", tmpl, mkCounts(m.Size(), 50, map[int]int{4: 9})); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "suite.json")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSuiteFile(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Names(), s.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for _, name := range s.Names() {
+		want, _ := s.Entry(name)
+		got, _ := loaded.Entry(name)
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Fatalf("entry %q counts diverged", name)
+		}
+	}
+	got, _ := loaded.Entry("rt")
+	if got.Template == nil || got.Template.String() != tmpl.String() {
+		t.Fatalf("template did not round-trip:\n%v", got.Template)
+	}
+
+	path2 := filepath.Join(t.TempDir(), "suite2.json")
+	if err := loaded.SaveFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatal("re-saved suite is not byte-identical")
+	}
+}
+
+// TestLoadSuiteFileRejectsBadInput: wrong model, corrupt JSON, and
+// truncated files must error cleanly, never panic.
+func TestLoadSuiteFileRejectsBadInput(t *testing.T) {
+	s, m := testSuite(t)
+	path := filepath.Join(t.TempDir(), "suite.json")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	small := coverage.MustModel([]string{"a", "b"})
+	if _, err := LoadSuiteFile(path, small); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+
+	data, _ := os.ReadFile(path)
+	for _, n := range []int{0, 1, len(data) / 2, len(data) - 10} {
+		trunc := filepath.Join(t.TempDir(), "trunc.json")
+		if err := os.WriteFile(trunc, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSuiteFile(trunc, m); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+
+	if _, err := LoadSuiteFile(filepath.Join(t.TempDir(), "missing.json"), m); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,17 @@ type Job struct {
 	unitName  string
 	tmpl      *template.Template // nil = pure defaults
 	seedState uint64             // seed's raw state; rng.New(seedState) reproduces it
+
+	// ctx, when non-nil, lets queued chunks abort without simulating. The
+	// job still completes (Wait returns), but with partial counts — the
+	// submitter is expected to notice ctx.Err() and discard them.
+	ctx context.Context
+}
+
+// canceled reports whether the job's context has been canceled. Safe on
+// a nil context (never canceled).
+func (j *Job) canceled() bool {
+	return j.ctx != nil && j.ctx.Err() != nil
 }
 
 // Wait blocks until every instance of the job has been simulated and
@@ -103,6 +115,7 @@ type schedObs struct {
 	instances *obs.Counter // test-instances simulated
 	remote    *obs.Counter // chunks completed by a remote runner
 	fallbacks *obs.Counter // remote failures re-executed locally
+	aborted   *obs.Counter // queued chunks dropped by cancellation
 	queue     *obs.Gauge   // chunks queued but not yet picked up
 	chunkNs   *obs.Histogram
 	chunkSize *obs.Histogram
@@ -122,6 +135,7 @@ func newSchedObs(rec *obs.Recorder, workers int) *schedObs {
 		instances: rec.Counter("sim.instances_completed"),
 		remote:    rec.Counter("sim.chunks_remote"),
 		fallbacks: rec.Counter("sim.remote_fallbacks"),
+		aborted:   rec.Counter("sim.chunks_aborted"),
 		queue:     rec.Gauge("sim.queue_depth"),
 		chunkNs:   rec.Histogram("sim.chunk_ns", obs.LatencyBounds()),
 		chunkSize: rec.Histogram("sim.chunk_size", obs.SizeBounds()),
@@ -211,6 +225,19 @@ func (o *schedObs) countEnqueue() {
 func (s *Scheduler) work(id int) {
 	for t := range s.tasks {
 		o := s.obs
+		if t.job.canceled() {
+			// Cancellation: the chunk still lands (so Wait returns and the
+			// job drains) but contributes nothing — no simulation runs.
+			completed := s.complete(t, coverage.NewCounts(t.job.total.Len()))
+			if o != nil {
+				o.queue.Add(-1)
+				o.aborted.Inc()
+				if completed {
+					o.jobsDone.Inc()
+				}
+			}
+			continue
+		}
 		if o == nil {
 			s.complete(t, s.simulateChunk(t))
 			continue
@@ -245,6 +272,17 @@ func (s *Scheduler) work(id int) {
 func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 	for t := range s.tasks {
 		o := s.obs
+		if t.job.canceled() {
+			completed := s.complete(t, coverage.NewCounts(t.job.total.Len()))
+			if o != nil {
+				o.queue.Add(-1)
+				o.aborted.Inc()
+				if completed {
+					o.jobsDone.Inc()
+				}
+			}
+			continue
+		}
 		n := uint64(t.hi - t.lo)
 		var sp *obs.Span
 		var start time.Time
@@ -265,11 +303,19 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 			counts.Len() == t.job.total.Len() && counts.Sims() == n
 		if !remote {
 			// Remote execution failed (worker down, timeout, bad frame):
-			// the chunk must still land exactly once, so run it here.
+			// the chunk must still land exactly once, so run it here —
+			// unless cancellation arrived while the remote attempt ran.
 			if o != nil {
 				o.fallbacks.Inc()
 			}
-			counts = s.simulateChunk(t)
+			if t.job.canceled() {
+				if o != nil {
+					o.aborted.Inc()
+				}
+				counts = coverage.NewCounts(t.job.total.Len())
+			} else {
+				counts = s.simulateChunk(t)
+			}
 		}
 		completed := s.complete(t, counts)
 		if o == nil {

@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/generator"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/template"
@@ -54,6 +56,7 @@ type Env struct {
 	defaults generator.Defaults
 	sched    *Scheduler
 	plans    *planCache
+	ctx      context.Context // nil = never canceled (SetContext)
 
 	// Observability handles (nil when disabled; all nil-safe).
 	mBatches   *obs.Counter
@@ -90,6 +93,23 @@ func (e *Env) SetRecorder(rec *obs.Recorder) {
 	e.hBatchSize = rec.Histogram("sim.batch_size", obs.SizeBounds())
 	e.plans.setRecorder(rec)
 	e.sched.setRecorder(rec)
+}
+
+// SetContext installs a cancellation context. Submissions after the
+// context is canceled fail with ctx.Err(); chunks already queued on the
+// scheduler abort without simulating (their jobs complete with the
+// counts collected so far), while chunks a worker already picked up
+// drain normally. Like SetRecorder it must be called from the goroutine
+// that submits jobs, before they are submitted; a nil context (the
+// default) disables cancellation.
+func (e *Env) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// ctxErr reports the environment's cancellation state.
+func (e *Env) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // SetPlanCacheSize rebounds the compiled-plan cache (default
@@ -129,6 +149,25 @@ func (e *Env) Unit() duv.DUV { return e.unit }
 // but unfinished jobs are already counted.
 func (e *Env) Simulations() uint64 { return e.sims.Load() }
 
+// Batches returns the number of batches submitted so far. Together with
+// Simulations it is the environment's deterministic seeding state: a
+// journal checkpoint records both, and RestoreCounters replays them so
+// a resumed run draws the exact batch seeds the original would have.
+func (e *Env) Batches() uint64 { return e.batch.Load() }
+
+// Seed returns the environment's base seed (splitting never advances
+// the base stream, so this is the NewEnv seed for the environment's
+// whole life).
+func (e *Env) Seed() uint64 { return e.seed.State() }
+
+// RestoreCounters rewinds (or fast-forwards) the batch and simulation
+// counters to a journaled checkpoint. Only meaningful while no jobs are
+// in flight — the flow calls it between replayed phases.
+func (e *Env) RestoreCounters(batches, sims uint64) {
+	e.batch.Store(batches)
+	e.sims.Store(sims)
+}
+
 // plan returns the unit's compiled sampling plan for tmpl, compiling
 // and caching it on first use. Plans are keyed by template content, so
 // re-parsed or renamed copies of one body share one table; the cache is
@@ -149,6 +188,9 @@ func (e *Env) Submit(tmpl *template.Template, n int) (*Job, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
 	job := &Job{
 		unit:      e.unit,
@@ -159,6 +201,7 @@ func (e *Env) Submit(tmpl *template.Template, n int) (*Job, error) {
 		seedState: batchSeed.State(),
 		total:     coverage.NewCountsFor(e.unit.Model()),
 		done:      make(chan struct{}),
+		ctx:       e.ctx,
 	}
 	if n <= 0 {
 		close(job.done)
@@ -181,15 +224,25 @@ func (e *Env) Run(tmpl *template.Template, n int) (*coverage.Counts, error) {
 		if err != nil {
 			return nil, err
 		}
-		return job.Wait(), nil
+		counts := job.Wait()
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
+		return counts, nil
 	}
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := e.ctxErr(); err != nil {
+		return nil, err
 	}
 	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
 	plan := e.plan(tmpl)
 	c := coverage.NewCountsFor(e.unit.Model())
 	for i := 0; i < n; i++ {
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		g := generator.NewFromPlan(plan, batchSeed.SplitIndex(uint64(i)).Uint64())
 		c.Add(e.unit.Simulate(g))
 	}
@@ -254,6 +307,9 @@ func (e *Env) RunEach(templates []*template.Template, n int) ([]*coverage.Counts
 	}
 	for i, j := range jobs {
 		out[i] = j.Wait()
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -275,14 +331,131 @@ func (e *Env) RunInto(repo *coverage.Repository, tmpl *template.Template, n int)
 // AS-CDG in the paper's result tables ("Before CDG" columns). All
 // templates' batches run concurrently on the scheduler.
 func (e *Env) BuildCorpus(simsPerTemplate int) (*coverage.Repository, error) {
+	return e.BuildCorpusJournaled(simsPerTemplate, nil)
+}
+
+// CorpusTemplateRec is the journal record of one corpus template's
+// aggregate: the counts plus the environment's seeding counters right
+// after the template's batch was submitted, so a resumed build draws
+// the exact batch seeds the original would have for the remainder.
+type CorpusTemplateRec struct {
+	I       int      `json:"i"`
+	Name    string   `json:"name"`
+	Hits    []uint64 `json:"hits"`
+	Sims    uint64   `json:"sims"`
+	Batches uint64   `json:"batches"`
+	EnvSims uint64   `json:"env_sims"`
+}
+
+// BuildCorpusJournaled is BuildCorpus with crash-safe checkpointing:
+// each template's aggregate is replayed from (or appended to) the
+// cursor, in base-template order. A nil cursor degrades to a plain
+// build. Replay consumes no simulations; the live remainder is
+// submitted up front and journaled in submission order.
+func (e *Env) BuildCorpusJournaled(simsPerTemplate int, cur *journal.Cursor) (*coverage.Repository, error) {
 	repo := coverage.NewRepository(e.unit.Model())
 	templates := e.unit.BaseTemplates()
-	counts, err := e.RunEach(templates, simsPerTemplate)
+	start := 0
+	for start < len(templates) {
+		var rec CorpusTemplateRec
+		ok, err := cur.Take("corpus_template", &rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if rec.I != start || rec.Name != templates[start].Name || len(rec.Hits) != e.unit.Model().Size() {
+			return nil, fmt.Errorf("sim: journal corpus record %d (%q) does not match template %d (%q)",
+				rec.I, rec.Name, start, templates[start].Name)
+		}
+		repo.RecordCounts(rec.Name, coverage.CountsFromRaw(rec.Hits, rec.Sims))
+		e.RestoreCounters(rec.Batches, rec.EnvSims)
+		start++
+	}
+	if start == len(templates) {
+		return repo, nil
+	}
+	type pending struct {
+		job              *Job
+		batches, envSims uint64
+	}
+	jobs := make([]pending, 0, len(templates)-start)
+	for _, t := range templates[start:] {
+		job, err := e.Submit(t, simsPerTemplate)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, pending{job, e.batch.Load(), e.sims.Load()})
+	}
+	for i, p := range jobs {
+		counts := p.job.Wait()
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
+		name := templates[start+i].Name
+		repo.RecordCounts(name, counts)
+		hits, n := counts.Raw()
+		if err := cur.Append("corpus_template", CorpusTemplateRec{
+			I: start + i, Name: name, Hits: hits, Sims: n,
+			Batches: p.batches, EnvSims: p.envSims,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return repo, nil
+}
+
+// corpusHeader identifies a standalone corpus journal; resume rejects a
+// journal whose header does not match the requested build.
+type corpusHeader struct {
+	Kind            string `json:"kind"`
+	Unit            string `json:"unit"`
+	Seed            uint64 `json:"seed"`
+	SimsPerTemplate int    `json:"sims_per_template"`
+	Events          int    `json:"events"`
+}
+
+// OpenCorpusJournal creates (resume false) or recovers (resume true) a
+// standalone corpus-build journal for this environment — the
+// crash-safety entry point for CLIs whose only simulation phase is
+// BuildCorpus (regress, tacquery). On resume, the journal's header must
+// match this environment's unit, seed and budget exactly; a mismatched
+// journal is rejected rather than silently replayed into a different
+// run. The caller owns closing the returned cursor.
+func (e *Env) OpenCorpusJournal(path string, resume bool, simsPerTemplate int, rec *obs.Recorder) (*journal.Cursor, error) {
+	want := corpusHeader{
+		Kind: "corpus", Unit: e.unitName, Seed: e.Seed(),
+		SimsPerTemplate: simsPerTemplate, Events: e.unit.Model().Size(),
+	}
+	if resume {
+		recs, w, err := journal.Recover(path, rec)
+		if err != nil {
+			return nil, err
+		}
+		cur := journal.NewCursor(w, recs)
+		var got corpusHeader
+		ok, err := cur.Take("corpus_header", &got)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok || got != want {
+			w.Close()
+			return nil, fmt.Errorf("sim: journal %s does not match this corpus build (unit %q, seed %d, %d sims/template)",
+				path, want.Unit, want.Seed, want.SimsPerTemplate)
+		}
+		rec.Counter("sim.corpus_resumes").Inc()
+		return cur, nil
+	}
+	w, err := journal.Create(path, rec)
 	if err != nil {
 		return nil, err
 	}
-	for i, c := range counts {
-		repo.RecordCounts(templates[i].Name, c)
+	cur := journal.NewCursor(w, nil)
+	if err := cur.Append("corpus_header", want); err != nil {
+		w.Close()
+		return nil, err
 	}
-	return repo, nil
+	return cur, nil
 }
