@@ -140,39 +140,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Runner = d
 		cfg.RunnerLanes = d.Lanes()
 	}
-	flow := core.NewFlow(unit, cfg)
-	defer flow.Close()
 	if *loadRepo != "" {
 		repo, err := coverage.LoadFile(*loadRepo, unit.Model())
 		if err != nil {
 			fmt.Fprintf(stderr, "ascdg: %v\n", err)
 			return 1
 		}
-		flow.SetRepository(repo)
+		cfg.Repository = repo
 	}
 	if *journalPath != "" {
-		if *resume {
-			err = flow.Resume(*journalPath)
-		} else {
-			err = flow.StartJournal(*journalPath)
-		}
-		if err != nil {
-			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		// An explicit fresh start (-journal without -resume) must not
+		// silently replay a stale journal; -resume must have one to
+		// replay. core.New resumes any existing journal file.
+		_, statErr := os.Stat(*journalPath)
+		if *resume && statErr != nil {
+			fmt.Fprintf(stderr, "ascdg: -resume: no journal at %s\n", *journalPath)
 			return 1
 		}
+		if !*resume && statErr == nil {
+			if err := os.Remove(*journalPath); err != nil {
+				fmt.Fprintf(stderr, "ascdg: %v\n", err)
+				return 1
+			}
+		}
+		cfg.Journal = *journalPath
 	}
+	flow, err := core.New(unit, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 1
+	}
+	defer flow.Close()
 	ctx, stopSignals := sigctx.Notify(context.Background(), stderr)
 	defer stopSignals()
 
 	var reports []*core.Report
 	if *family != "" {
-		reports, err = flow.RunFamilyRefinedContext(ctx, *family, *decay, *rounds)
+		reports, err = flow.RunFamilyRefined(ctx, *family, *decay, *rounds)
 	} else {
 		var r *core.Report
-		r, err = flow.RunCrossContext(ctx, *cross)
+		r, err = flow.RunCross(ctx, *cross)
 		reports = append(reports, r)
 	}
-	if errors.Is(err, context.Canceled) {
+	if errors.Is(err, core.ErrInterrupted) {
 		fmt.Fprintln(stderr, "ascdg: interrupted")
 		if *journalPath != "" {
 			fmt.Fprintf(stderr, "ascdg: run checkpointed; continue with: ascdg -resume -journal %s (plus the same flags)\n", *journalPath)

@@ -1,0 +1,154 @@
+// Command cdgd is the long-running campaign daemon: it serves the
+// AS-CDG flow over HTTP, running submitted campaigns with bounded
+// concurrency and persisting every campaign's journal so a daemon
+// restart resumes in-flight work bit-identically.
+//
+// Usage:
+//
+//	cdgd -listen :9777 -data /var/lib/cdgd [-max-running 1] [-max-queue 16]
+//
+// API (see internal/service):
+//
+//	POST   /v1/campaigns             submit {"unit":"iounit","family":"crc_fifo",...}
+//	GET    /v1/campaigns             list campaigns
+//	GET    /v1/campaigns/{id}        status + final reports
+//	GET    /v1/campaigns/{id}/events stream JSONL progress
+//	DELETE /v1/campaigns/{id}        cancel
+//
+// SIGINT/SIGTERM drain gracefully: running campaigns checkpoint into
+// their journals (the on-disk state stays "running" so the next cdgd
+// resumes them), queued campaigns stay queued, and the HTTP listener
+// closes. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/internal/duv/ifu"
+	_ "repro/internal/duv/iounit"
+	_ "repro/internal/duv/l3cache"
+	_ "repro/internal/duv/noc"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cdgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", ":9777", "address to serve the campaign API on")
+	dataDir := fs.String("data", "", "campaign store directory (required); journals here survive restarts")
+	maxRunning := fs.Int("max-running", 1, "concurrently running campaigns")
+	maxQueue := fs.Int("max-queue", 16, "queued campaigns beyond the running ones; more are rejected with 429")
+	retryAfter := fs.Duration("retry-after", 15*time.Second, "Retry-After hint attached to 429 rejections")
+	workers := fs.Int("workers", 0, "simulation worker goroutines per campaign (<= 0: GOMAXPROCS)")
+	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the daemon's lifetime to this file (view in Perfetto)")
+	progress := fs.Bool("progress", false, "stream the service's own JSONL events (submissions, campaign starts/ends) to stderr")
+	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr at exit")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address while running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dataDir == "" {
+		fmt.Fprintln(stderr, "cdgd: -data is required")
+		return 2
+	}
+
+	var progressW io.Writer
+	if *progress {
+		progressW = stderr
+	}
+	sess, err := obs.StartSession(obs.Config{
+		TracePath:   *trace,
+		ProgressW:   progressW,
+		MetricsDump: *metrics,
+		DebugAddr:   *debugAddr,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		}
+	}()
+
+	svcCfg := service.Config{
+		DataDir:    *dataDir,
+		MaxRunning: *maxRunning,
+		MaxQueue:   *maxQueue,
+		RetryAfter: *retryAfter,
+		Workers:    *workers,
+		Rec:        sess.Recorder(),
+	}
+	if *farmAddrs != "" {
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
+		defer d.Close()
+		if err := d.WaitReady(5 * time.Second); err != nil {
+			fmt.Fprintf(stderr, "cdgd: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)
+		}
+		svcCfg.Runner = d
+		svcCfg.RunnerLanes = d.Lanes()
+	}
+	svc, err := service.New(svcCfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		svc.Close()
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "cdgd: listening on %s (data %s, max-running %d, max-queue %d)\n",
+		ln.Addr(), *dataDir, *maxRunning, *maxQueue)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	serveDone := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(stdout, "cdgd: %v: draining (running campaigns checkpoint; queue persists)\n", sig)
+			go func() {
+				<-sigc
+				fmt.Fprintln(stderr, "cdgd: second signal, exiting immediately")
+				os.Exit(130)
+			}()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			srv.Shutdown(ctx)
+			cancel()
+		case <-serveDone:
+		}
+	}()
+
+	err = srv.Serve(ln)
+	close(serveDone)
+	svc.Close() // interrupts running campaigns; they checkpoint and exit
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "cdgd: drained, exiting")
+	return 0
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/figures"
 	"repro/internal/obs"
@@ -122,7 +123,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: unknown figure %q (want 3, 4, 5, 6 or all)\n", *fig)
 		os.Exit(2)
 	}
-	if errors.Is(err, context.Canceled) {
+	if errors.Is(err, core.ErrInterrupted) {
 		fmt.Fprintln(os.Stderr, "repro: interrupted")
 		if *journalDir != "" {
 			fmt.Fprintf(os.Stderr, "repro: run checkpointed; continue with: repro -resume -journal %s (plus the same flags)\n", *journalDir)

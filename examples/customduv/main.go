@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -183,7 +185,7 @@ func main() {
 		OptSims:               80,
 		BestSims:              1500,
 	})
-	reports, err := flow.RunFamilyRefined(streakFamily, 0.5, 2)
+	reports, err := flow.RunFamilyRefined(context.Background(), streakFamily, 0.5, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -34,7 +36,7 @@ func main() {
 		BestSims:              4000,
 	})
 
-	report, err := flow.RunCross(ifu.CrossName)
+	report, err := flow.RunCross(context.Background(), ifu.CrossName)
 	if err != nil {
 		log.Fatal(err)
 	}

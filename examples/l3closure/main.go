@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -33,7 +35,7 @@ func main() {
 		BestSims:              3000,
 	})
 
-	reports, err := flow.RunFamilyRefined(l3cache.FamilyName, 0.4, 3)
+	reports, err := flow.RunFamilyRefined(context.Background(), l3cache.FamilyName, 0.4, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -38,7 +40,7 @@ func main() {
 	tracker := closure.NewTracker(model)
 	campaignStart := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
 
-	reports, err := flow.RunPerEventShared(noc.FamilyName, 0.5)
+	reports, err := flow.RunPerEventShared(context.Background(), noc.FamilyName, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,11 +22,13 @@ import (
 )
 
 // Campaign is one reproducible journaled run: NewFlow must build
-// identical flows (same unit, same config), and Run must drive a flow
+// identical flows (same unit, same config) journaled at the given path
+// — typically core.New with Config.Journal set, which starts fresh on a
+// missing file and resumes an existing one — and Run must drive a flow
 // through the same campaign with the same arguments every time. Run's
 // result is compared across trials with reflect.DeepEqual.
 type Campaign struct {
-	NewFlow func() *core.Flow
+	NewFlow func(journal string) (*core.Flow, error)
 	Run     func(*core.Flow) (any, error)
 }
 
@@ -34,11 +36,11 @@ type Campaign struct {
 // result plus the finished journal's record count — the number of
 // distinct kill points a Sweep will exercise.
 func (c Campaign) Baseline(path string) (any, int, error) {
-	flow := c.NewFlow()
-	defer flow.Close()
-	if err := flow.StartJournal(path); err != nil {
+	flow, err := c.NewFlow(path)
+	if err != nil {
 		return nil, 0, err
 	}
+	defer flow.Close()
 	want, err := c.Run(flow)
 	if err != nil {
 		return nil, 0, err
@@ -53,23 +55,22 @@ func (c Campaign) Baseline(path string) (any, int, error) {
 // returning the resumed run's result. The killed run must die with
 // journal.ErrInjected — any other outcome is an error.
 func (c Campaign) CrashAndResume(path string, kill, tear int) (any, error) {
-	victim := c.NewFlow()
-	if err := victim.StartJournal(path); err != nil {
-		victim.Close()
+	victim, err := c.NewFlow(path)
+	if err != nil {
 		return nil, err
 	}
 	victim.Journal().Writer().FailAppends(kill, tear)
-	_, err := c.Run(victim)
+	_, err = c.Run(victim)
 	victim.Close()
 	if !errors.Is(err, journal.ErrInjected) {
 		return nil, fmt.Errorf("chaos: kill=%d tear=%d: run did not die at the injected append: %v", kill, tear, err)
 	}
 
-	survivor := c.NewFlow()
-	defer survivor.Close()
-	if err := survivor.Resume(path); err != nil {
+	survivor, err := c.NewFlow(path)
+	if err != nil {
 		return nil, fmt.Errorf("chaos: kill=%d tear=%d: resume: %w", kill, tear, err)
 	}
+	defer survivor.Close()
 	got, err := c.Run(survivor)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: kill=%d tear=%d: resumed run: %w", kill, tear, err)

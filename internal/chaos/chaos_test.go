@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -30,9 +31,13 @@ func chaosConfig() core.Config {
 
 func chaosCampaign() Campaign {
 	return Campaign{
-		NewFlow: func() *core.Flow { return core.NewFlow(iounit.New(), chaosConfig()) },
+		NewFlow: func(journal string) (*core.Flow, error) {
+			cfg := chaosConfig()
+			cfg.Journal = journal
+			return core.New(iounit.New(), cfg)
+		},
 		Run: func(f *core.Flow) (any, error) {
-			reports, err := f.RunFamilyRefined(iounit.FamilyName, 0.4, 1)
+			reports, err := f.RunFamilyRefined(context.Background(), iounit.FamilyName, 0.4, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -77,8 +82,8 @@ func TestKillAtEveryAppendBoundary(t *testing.T) {
 func TestCrashAndResumeRejectsForeignFlow(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "victim.journal")
 	c := chaosCampaign()
-	victim := c.NewFlow()
-	if err := victim.StartJournal(path); err != nil {
+	victim, err := c.NewFlow(path)
+	if err != nil {
 		t.Fatal(err)
 	}
 	victim.Journal().Writer().FailAppends(3, 0)
@@ -87,11 +92,13 @@ func TestCrashAndResumeRejectsForeignFlow(t *testing.T) {
 	}
 	victim.Close()
 
+	// Auto-resume through core.New must reject the journal: the victim's
+	// journal exists but was written under a different seed.
 	cfg := chaosConfig()
 	cfg.Seed = 99
-	other := core.NewFlow(iounit.New(), cfg)
-	defer other.Close()
-	if err := other.Resume(path); err == nil {
+	cfg.Journal = path
+	if other, err := core.New(iounit.New(), cfg); err == nil {
+		other.Close()
 		t.Fatal("foreign flow resumed a mismatched journal")
 	}
 }

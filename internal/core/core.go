@@ -23,6 +23,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/coverage"
@@ -95,6 +96,22 @@ type Config struct {
 	// per-iteration records from the optimizer. Purely observational —
 	// reports are bit-identical with it set or nil (default nil).
 	Obs *obs.Recorder
+
+	// Repository, when non-nil, installs a pre-built "Before CDG" corpus
+	// at construction, so multiple flows against the same unit share the
+	// expensive regression phase. Not part of the journal's config hash:
+	// the journal's run_start record validates the targets the corpus
+	// induces instead.
+	Repository *coverage.Repository
+
+	// Journal, when non-empty, is the path of the flow's crash-safe
+	// journal file. New arms it at construction: a missing (or empty)
+	// file starts a fresh journal; an existing one is recovered and
+	// replayed, re-entering the interrupted run mid-phase (its header
+	// must match this flow's unit, seed, coverage model, and
+	// result-relevant config). The flow owns the journal and closes it
+	// with Close.
+	Journal string
 }
 
 func (c Config) withDefaults() Config {
@@ -190,8 +207,20 @@ type Flow struct {
 	cur   *journal.Cursor               // nil = journaling off
 }
 
-// NewFlow creates a flow for the unit.
-func NewFlow(unit duv.DUV, cfg Config) *Flow {
+// ErrInterrupted reports a run stopped by context cancellation rather
+// than a real failure: the flow checkpointed its state (when journaled)
+// and can be resumed. All run entry points return an error satisfying
+// errors.Is(err, ErrInterrupted) on cancellation, so callers decide
+// exit codes without string matching. The underlying ctx.Err() stays in
+// the chain, so errors.Is(err, context.Canceled) keeps working too.
+var ErrInterrupted = errors.New("core: run interrupted")
+
+// New creates a fully configured flow for the unit: cfg.Repository
+// installs a pre-built corpus and cfg.Journal arms the crash-safe
+// journal (fresh when the file is missing, resumed when it exists).
+// This is the declarative construction path — nothing needs to be
+// mutated on the flow before running it.
+func New(unit duv.DUV, cfg Config) (*Flow, error) {
 	cfg = cfg.withDefaults()
 	env := sim.NewEnv(unit, cfg.Seed, cfg.Workers)
 	env.SetRecorder(cfg.Obs)
@@ -202,12 +231,31 @@ func NewFlow(unit duv.DUV, cfg Config) *Flow {
 		}
 		env.AttachRunner(cfg.Runner, lanes)
 	}
-	return &Flow{
+	f := &Flow{
 		env:   env,
 		cfg:   cfg,
 		rec:   cfg.Obs,
+		repo:  cfg.Repository,
 		extra: map[string]*template.Template{},
 	}
+	if cfg.Journal != "" {
+		if err := f.openJournal(cfg.Journal); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// NewFlow is New for configs without a journal. It panics if cfg
+// names a journal that cannot be opened; prefer New when cfg.Journal
+// is set.
+func NewFlow(unit duv.DUV, cfg Config) *Flow {
+	f, err := New(unit, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core.NewFlow: %v (use core.New for journaled flows)", err))
+	}
+	return f
 }
 
 // Env exposes the flow's batch environment (for accounting).
@@ -238,25 +286,34 @@ func (f *Flow) ctxErr() error {
 	return f.ctx.Err()
 }
 
-// SetRepository installs a pre-built "Before CDG" corpus, so multiple
-// runs against the same unit share the expensive regression phase.
-func (f *Flow) SetRepository(repo *coverage.Repository) { f.repo = repo }
+// finish normalizes an entry point's error: a run that failed because
+// its context was canceled is an interruption, not a failure — the
+// error is wrapped so errors.Is(err, ErrInterrupted) holds (the
+// original cause stays in the chain) and the cancellation metric is
+// bumped. Errors from live runs pass through untouched.
+func (f *Flow) finish(err error) error {
+	if err == nil || f.ctxErr() == nil || errors.Is(err, ErrInterrupted) {
+		return err
+	}
+	f.rec.Counter("flow.cancellations").Inc()
+	return fmt.Errorf("%w: %w", ErrInterrupted, err)
+}
 
-// Repository returns the flow's corpus (nil until built or set).
+// Repository returns the flow's corpus (nil until built or configured).
 func (f *Flow) Repository() *coverage.Repository { return f.repo }
 
 // RunFamily is the common entry point for buffer-utilization families:
 // the real targets are the family's uncovered events, and the
 // approximated target is the decay-weighted family (decay 1 = the
-// paper's plain family sum).
-func (f *Flow) RunFamily(family string, decay float64) (*Report, error) {
-	return f.RunFamilyContext(context.Background(), family, decay)
+// paper's plain family sum). ctx aborts the run between simulations
+// with an ErrInterrupted-wrapped error, leaving any journal consistent
+// for resumption.
+func (f *Flow) RunFamily(ctx context.Context, family string, decay float64) (*Report, error) {
+	report, err := f.runFamily(ctx, family, decay)
+	return report, f.finish(err)
 }
 
-// RunFamilyContext is RunFamily with cancellation: ctx aborts the run
-// between simulations with ctx.Err(), leaving any journal consistent
-// for Resume.
-func (f *Flow) RunFamilyContext(ctx context.Context, family string, decay float64) (*Report, error) {
+func (f *Flow) runFamily(ctx context.Context, family string, decay float64) (*Report, error) {
 	f.begin(ctx)
 	model := f.env.Unit().Model()
 	famIDs, ok := model.Family(family)
@@ -283,18 +340,19 @@ func (f *Flow) RunFamilyContext(ctx context.Context, family string, decay float6
 	if err != nil {
 		return nil, err
 	}
-	return f.RunContext(ctx, neighbors.NewTarget(ws), targets)
+	return f.Run(ctx, neighbors.NewTarget(ws), targets)
 }
 
 // RunCross is the entry point for cross-product coverage (the paper's
 // IFU experiment): the targets are the cross's uncovered events, and the
-// approximated target spans the whole cross product uniformly.
-func (f *Flow) RunCross(crossName string) (*Report, error) {
-	return f.RunCrossContext(context.Background(), crossName)
+// approximated target spans the whole cross product uniformly. ctx
+// cancels as in RunFamily.
+func (f *Flow) RunCross(ctx context.Context, crossName string) (*Report, error) {
+	report, err := f.runCross(ctx, crossName)
+	return report, f.finish(err)
 }
 
-// RunCrossContext is RunCross with cancellation (see RunFamilyContext).
-func (f *Flow) RunCrossContext(ctx context.Context, crossName string) (*Report, error) {
+func (f *Flow) runCross(ctx context.Context, crossName string) (*Report, error) {
 	f.begin(ctx)
 	model := f.env.Unit().Model()
 	cp, ok := model.Cross(crossName)
@@ -320,7 +378,7 @@ func (f *Flow) RunCrossContext(ctx context.Context, crossName string) (*Report, 
 		targets = ids
 	}
 	ph.End(map[string]any{"targets": len(targets), "approx_events": len(ids)})
-	return f.RunContext(ctx, neighbors.Uniform(ids), targets)
+	return f.Run(ctx, neighbors.Uniform(ids), targets)
 }
 
 // RunFamilyRefined repeats RunFamily up to rounds times, implementing
@@ -331,15 +389,12 @@ func (f *Flow) RunCrossContext(ctx context.Context, crossName string) (*Report, 
 // harvested template competes in the coarse-grained search, so the
 // skeleton of round k+1 starts from the best knowledge of round k. The
 // loop stops early once every family event has evidence.
-func (f *Flow) RunFamilyRefined(family string, decay float64, rounds int) ([]*Report, error) {
-	return f.RunFamilyRefinedContext(context.Background(), family, decay, rounds)
-}
-
-// RunFamilyRefinedContext is RunFamilyRefined with cancellation. The
-// loop is driven by the flow's harvested-round counter rather than a
-// local one, so a resumed flow replays its completed rounds and then
-// runs only the remainder of the campaign.
-func (f *Flow) RunFamilyRefinedContext(ctx context.Context, family string, decay float64, rounds int) ([]*Report, error) {
+//
+// The loop is driven by the flow's harvested-round counter rather than
+// a local one, so a resumed flow replays its completed rounds and then
+// runs only the remainder of the campaign. ctx cancels as in RunFamily;
+// completed rounds' reports are returned alongside the error.
+func (f *Flow) RunFamilyRefined(ctx context.Context, family string, decay float64, rounds int) ([]*Report, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
@@ -348,7 +403,7 @@ func (f *Flow) RunFamilyRefinedContext(ctx context.Context, family string, decay
 		if f.round > 0 && f.familyCovered(family) {
 			break
 		}
-		report, err := f.RunFamilyContext(ctx, family, decay)
+		report, err := f.RunFamily(ctx, family, decay)
 		if err != nil {
 			return reports, err
 		}
@@ -386,26 +441,19 @@ func (f *Flow) ensureCorpus() error {
 	return nil
 }
 
-// Run executes the flow for an approximated target and the list of real
-// target events.
-func (f *Flow) Run(target *neighbors.Target, targetEvents []int) (*Report, error) {
-	return f.RunContext(context.Background(), target, targetEvents)
-}
-
-// RunContext is Run with cancellation and journal replay. With a
-// journal armed (StartJournal/Resume), completed phases replay from the
+// Run executes the flow for an approximated target and the list of
+// real target events, with cancellation and journal replay. With a
+// journal armed (Config.Journal), completed phases replay from the
 // record stream without simulating and the run re-enters live execution
 // mid-phase; either way the Report is bit-identical to an uninterrupted
 // unjournaled run. On cancellation the flow stops between simulations,
-// never journals post-cancellation state, and returns ctx.Err() — the
-// journal then resumes from the last completed record.
-func (f *Flow) RunContext(ctx context.Context, target *neighbors.Target, targetEvents []int) (*Report, error) {
+// never journals post-cancellation state, and returns an
+// ErrInterrupted-wrapped error — the journal then resumes from the last
+// completed record.
+func (f *Flow) Run(ctx context.Context, target *neighbors.Target, targetEvents []int) (*Report, error) {
 	f.begin(ctx)
 	report, err := f.run(target, targetEvents)
-	if err != nil && f.ctxErr() != nil {
-		f.rec.Counter("flow.cancellations").Inc()
-	}
-	return report, err
+	return report, f.finish(err)
 }
 
 func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func smallConfig(seed uint64) Config {
 
 func TestFlowEndToEndIOUnit(t *testing.T) {
 	flow := NewFlow(iounit.New(), smallConfig(1))
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFlowImprovesFamilyFrontier(t *testing.T) {
 	// frontier must advance: the deepest covered event is hit far more
 	// often by the harvested template than by the regression mix.
 	flow := NewFlow(iounit.New(), smallConfig(2))
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFlowHitsUncoveredTargetsL3(t *testing.T) {
 	// newly cover some previously-uncovered family events — the paper's
 	// headline claim.
 	flow := NewFlow(l3cache.New(), smallConfig(2))
-	report, err := flow.RunFamily(l3cache.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), l3cache.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestFlowHitsUncoveredTargetsL3(t *testing.T) {
 
 func TestRunFamilyRefinedProgresses(t *testing.T) {
 	flow := NewFlow(l3cache.New(), smallConfig(9))
-	reports, err := flow.RunFamilyRefined(l3cache.FamilyName, 1.0, 2)
+	reports, err := flow.RunFamilyRefined(context.Background(), l3cache.FamilyName, 1.0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,15 +210,16 @@ func TestRunFamilyRefinedProgresses(t *testing.T) {
 func TestFlowSharedRepository(t *testing.T) {
 	unit := iounit.New()
 	flowA := NewFlow(unit, smallConfig(3))
-	if _, err := flowA.RunFamily(iounit.FamilyName, 1.0); err != nil {
+	if _, err := flowA.RunFamily(context.Background(), iounit.FamilyName, 1.0); err != nil {
 		t.Fatal(err)
 	}
 	repo := flowA.Repository()
 
-	flowB := NewFlow(unit, smallConfig(4))
-	flowB.SetRepository(repo)
+	cfgB := smallConfig(4)
+	cfgB.Repository = repo
+	flowB := NewFlow(unit, cfgB)
 	simsBefore := flowB.Env().Simulations()
-	report, err := flowB.RunFamily(iounit.FamilyName, 0.5)
+	report, err := flowB.RunFamily(context.Background(), iounit.FamilyName, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,16 +236,16 @@ func TestFlowSharedRepository(t *testing.T) {
 
 func TestFlowRunErrors(t *testing.T) {
 	flow := NewFlow(iounit.New(), smallConfig(5))
-	if _, err := flow.Run(nil, nil); err == nil {
+	if _, err := flow.Run(context.Background(), nil, nil); err == nil {
 		t.Error("nil target should fail")
 	}
-	if _, err := flow.Run(neighbors.Uniform(nil), nil); err == nil {
+	if _, err := flow.Run(context.Background(), neighbors.Uniform(nil), nil); err == nil {
 		t.Error("empty target should fail")
 	}
-	if _, err := flow.RunFamily("no_such_family", 1.0); err == nil {
+	if _, err := flow.RunFamily(context.Background(), "no_such_family", 1.0); err == nil {
 		t.Error("unknown family should fail")
 	}
-	if _, err := flow.RunCross("no_such_cross"); err == nil {
+	if _, err := flow.RunCross(context.Background(), "no_such_cross"); err == nil {
 		t.Error("unknown cross should fail")
 	}
 }
@@ -255,7 +257,7 @@ func TestFlowNoEvidenceFails(t *testing.T) {
 	flow := NewFlow(unit, smallConfig(6))
 	m := unit.Model()
 	dark := neighbors.Uniform([]int{m.MustLookup("crc_096")})
-	if _, err := flow.Run(dark, dark.Events()); err == nil {
+	if _, err := flow.Run(context.Background(), dark, dark.Events()); err == nil {
 		t.Fatal("expected failure for evidence-free target")
 	} else if !strings.Contains(err.Error(), "no existing template") {
 		t.Fatalf("unexpected error: %v", err)
@@ -265,7 +267,7 @@ func TestFlowNoEvidenceFails(t *testing.T) {
 func TestReportFormatters(t *testing.T) {
 	unit := l3cache.New()
 	flow := NewFlow(unit, smallConfig(7))
-	report, err := flow.RunFamily(l3cache.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), l3cache.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +332,7 @@ func TestConfigDefaults(t *testing.T) {
 func TestFlowDeterministicAcrossRuns(t *testing.T) {
 	run := func() *Report {
 		flow := NewFlow(iounit.New(), smallConfig(11))
-		report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+		report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +364,7 @@ func TestFlowDeterministicAcrossRuns(t *testing.T) {
 
 func TestRunCrossOnFamilyUnitFails(t *testing.T) {
 	flow := NewFlow(iounit.New(), smallConfig(12))
-	if _, err := flow.RunCross("anything"); err == nil {
+	if _, err := flow.RunCross(context.Background(), "anything"); err == nil {
 		t.Fatal("iounit has no cross products; RunCross must fail")
 	}
 }

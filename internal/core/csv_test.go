@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func csvReport(t *testing.T) (*Report, *Flow) {
 	t.Helper()
 	flow := NewFlow(iounit.New(), smallConfig(41))
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/coverage"
+	"repro/internal/neighbors"
+)
+
+// This file holds the pre-context-first API as thin shims, kept so
+// embedders written against earlier revisions keep compiling. New code
+// takes the context-first entry points (Run, RunFamily, RunCross,
+// RunFamilyRefined, RunEvents) and builds flows declaratively with New
+// (Config.Repository, Config.Journal). The staticcheck CI step gates
+// any use of these shims inside cmd/ and internal/.
+
+// RunContext is the former name of Run.
+//
+// Deprecated: use Run.
+func (f *Flow) RunContext(ctx context.Context, target *neighbors.Target, targetEvents []int) (*Report, error) {
+	return f.Run(ctx, target, targetEvents)
+}
+
+// SetRepository installs a pre-built "Before CDG" corpus after
+// construction.
+//
+// Deprecated: set Config.Repository and build the flow with New.
+func (f *Flow) SetRepository(repo *coverage.Repository) { f.repo = repo }
+
+// StartJournal creates a fresh journal at path and arms the flow to
+// checkpoint into it. Call before the first Run*.
+//
+// Deprecated: set Config.Journal and build the flow with New, which
+// also resumes an existing journal automatically.
+func (f *Flow) StartJournal(path string) error { return f.startJournal(path) }
+
+// Resume recovers the journal at path and arms the flow to replay it.
+//
+// Deprecated: set Config.Journal and build the flow with New, which
+// resumes an existing journal automatically.
+func (f *Flow) Resume(path string) error { return f.resumeJournal(path) }
+
+// RunFamilyContext is the former name of RunFamily.
+//
+// Deprecated: use RunFamily.
+func (f *Flow) RunFamilyContext(ctx context.Context, family string, decay float64) (*Report, error) {
+	return f.RunFamily(ctx, family, decay)
+}
+
+// RunCrossContext is the former name of RunCross.
+//
+// Deprecated: use RunCross.
+func (f *Flow) RunCrossContext(ctx context.Context, crossName string) (*Report, error) {
+	return f.RunCross(ctx, crossName)
+}
+
+// RunFamilyRefinedContext is the former name of RunFamilyRefined.
+//
+// Deprecated: use RunFamilyRefined.
+func (f *Flow) RunFamilyRefinedContext(ctx context.Context, family string, decay float64, rounds int) ([]*Report, error) {
+	return f.RunFamilyRefined(ctx, family, decay, rounds)
+}
+
+// RunEventsContext is the former name of RunEvents.
+//
+// Deprecated: use RunEvents.
+func (f *Flow) RunEventsContext(ctx context.Context, eventNames []string, minSim float64) (*Report, error) {
+	return f.RunEvents(ctx, eventNames, minSim)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -45,7 +46,7 @@ func runWithWorkers(t *testing.T, workers int) reportFingerprint {
 	cfg.Workers = workers
 	flow := NewFlow(iounit.New(), cfg)
 	defer flow.Close()
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestPerEventSharedDeterministicAcrossWorkers(t *testing.T) {
 		cfg.Workers = workers
 		flow := NewFlow(l3cache.New(), cfg)
 		defer flow.Close()
-		reports, err := flow.RunPerEventShared(l3cache.FamilyName, 0.5)
+		reports, err := flow.RunPerEventShared(context.Background(), l3cache.FamilyName, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestBatchObjectiveAccountsEverySimulation(t *testing.T) {
 	// optimization phase aggregate and the flow's total accounting.
 	flow := NewFlow(iounit.New(), smallConfig(33))
 	defer flow.Close()
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

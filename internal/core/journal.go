@@ -2,17 +2,18 @@
 // §10). A journaled flow appends one record per unit of paid-for
 // simulation — corpus template aggregates, per-sample aggregates,
 // optimizer iteration states, harvest results — plus structural records
-// (header, run boundaries) that let Resume reject a journal belonging
-// to a different run. Replay is transparent: after StartJournal or
-// Resume, the normal entry points (RunContext and friends) consume the
-// journal's history instead of simulating, then switch to live
-// execution mid-phase, producing a Report bit-identical to an
-// uninterrupted run.
+// (header, run boundaries) that reject a journal belonging to a
+// different run. Replay is transparent: a flow constructed with
+// Config.Journal naming an existing file consumes the journal's
+// history from the normal entry points (Run and friends) instead of
+// simulating, then switches to live execution mid-phase, producing a
+// Report bit-identical to an uninterrupted run.
 package core
 
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 
 	"repro/internal/journal"
 	"repro/internal/opt"
@@ -24,6 +25,8 @@ import (
 // knob must not replay into this run. Throughput-only knobs (Workers,
 // Runner, RunnerLanes, Obs) are deliberately excluded — the flow is
 // bit-identical across them, so a run may resume on different hardware.
+// Plumbing fields (Journal itself, Repository — whose induced targets
+// the run_start record validates instead) are excluded too.
 type flowHeader struct {
 	Kind    string `json:"kind"`
 	Unit    string `json:"unit"`
@@ -104,10 +107,24 @@ type runDoneRec struct {
 	TotalSims uint64 `json:"total_sims"`
 }
 
-// StartJournal creates a fresh journal at path and arms the flow to
-// checkpoint into it. Call before the first Run*; the flow owns the
-// journal and closes it with Close.
-func (f *Flow) StartJournal(path string) error {
+// openJournal arms the flow's journal at path: a missing or empty file
+// starts fresh, an existing one is recovered and replayed. This is the
+// construction path behind Config.Journal — a daemon that re-opens its
+// campaign directories after a restart resumes interrupted runs with no
+// extra bookkeeping.
+func (f *Flow) openJournal(path string) error {
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return f.resumeJournal(path)
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return f.startJournal(path)
+}
+
+// startJournal creates a fresh journal at path and arms the flow to
+// checkpoint into it. The flow owns the journal and closes it with
+// Close.
+func (f *Flow) startJournal(path string) error {
 	w, err := journal.Create(path, f.rec)
 	if err != nil {
 		return err
@@ -121,13 +138,13 @@ func (f *Flow) StartJournal(path string) error {
 	return nil
 }
 
-// Resume recovers the journal at path (truncating any torn tail) and
-// arms the flow to replay it: the next Run* calls — with the same
+// resumeJournal recovers the journal at path (truncating any torn tail)
+// and arms the flow to replay it: the next Run* calls — with the same
 // arguments as the interrupted run — consume the journal's history
 // instead of simulating, re-enter mid-phase where it ends, and continue
 // live, appending to the same journal. The journal's header must match
 // this flow's unit, seed, coverage model, and result-relevant config.
-func (f *Flow) Resume(path string) error {
+func (f *Flow) resumeJournal(path string) error {
 	recs, w, err := journal.Recover(path, f.rec)
 	if err != nil {
 		return err

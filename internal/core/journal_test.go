@@ -33,14 +33,27 @@ func journalTestConfig() Config {
 
 func runRefined(t *testing.T, flow *Flow, rounds int) []*Report {
 	t.Helper()
-	reports, err := flow.RunFamilyRefined(iounit.FamilyName, 0.4, rounds)
+	reports, err := flow.RunFamilyRefined(context.Background(), iounit.FamilyName, 0.4, rounds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return reports
 }
 
-// TestJournaledRunMatchesPlainRun: journaling on (StartJournal) must
+// newJournaled builds a flow journaled at path via the declarative
+// construction API: a missing file starts fresh, an existing one is
+// recovered and replayed.
+func newJournaled(t *testing.T, cfg Config, path string) *Flow {
+	t.Helper()
+	cfg.Journal = path
+	flow, err := New(iounit.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flow
+}
+
+// TestJournaledRunMatchesPlainRun: journaling on (Config.Journal) must
 // not perturb a run — every Report is bit-identical to the unjournaled
 // flow's — and a full replay of the finished journal must reproduce the
 // same Reports without simulating anything.
@@ -51,21 +64,16 @@ func TestJournaledRunMatchesPlainRun(t *testing.T) {
 	want := runRefined(t, plain, rounds)
 
 	path := filepath.Join(t.TempDir(), "run.journal")
-	live := NewFlow(iounit.New(), journalTestConfig())
-	if err := live.StartJournal(path); err != nil {
-		t.Fatal(err)
-	}
+	live := newJournaled(t, journalTestConfig(), path)
 	got := runRefined(t, live, rounds)
 	live.Close()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("journaled run diverged from plain run")
 	}
 
-	replay := NewFlow(iounit.New(), journalTestConfig())
+	// New sees the finished journal on disk and arms a full replay.
+	replay := newJournaled(t, journalTestConfig(), path)
 	defer replay.Close()
-	if err := replay.Resume(path); err != nil {
-		t.Fatal(err)
-	}
 	replayed := runRefined(t, replay, rounds)
 	if !reflect.DeepEqual(replayed, want) {
 		t.Fatal("replayed run diverged from plain run")
@@ -82,25 +90,22 @@ func TestJournaledRunMatchesPlainRun(t *testing.T) {
 // flow with the identical unit, seed, and result-relevant config.
 func TestResumeRejectsMismatchedFlow(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.journal")
-	flow := NewFlow(iounit.New(), journalTestConfig())
-	if err := flow.StartJournal(path); err != nil {
-		t.Fatal(err)
-	}
+	flow := newJournaled(t, journalTestConfig(), path)
 	flow.Close()
 
 	seedCfg := journalTestConfig()
 	seedCfg.Seed = 22
-	other := NewFlow(iounit.New(), seedCfg)
-	defer other.Close()
-	if err := other.Resume(path); err == nil {
+	seedCfg.Journal = path
+	if other, err := New(iounit.New(), seedCfg); err == nil {
+		other.Close()
 		t.Fatal("resume with a different seed succeeded")
 	}
 
 	simsCfg := journalTestConfig()
 	simsCfg.OptSims = 26
-	tweaked := NewFlow(iounit.New(), simsCfg)
-	defer tweaked.Close()
-	if err := tweaked.Resume(path); err == nil {
+	simsCfg.Journal = path
+	if tweaked, err := New(iounit.New(), simsCfg); err == nil {
+		tweaked.Close()
 		t.Fatal("resume with a different config succeeded")
 	}
 
@@ -108,13 +113,14 @@ func TestResumeRejectsMismatchedFlow(t *testing.T) {
 	// machine with a different worker count.
 	workersCfg := journalTestConfig()
 	workersCfg.Workers = 7
-	moved := NewFlow(iounit.New(), workersCfg)
-	defer moved.Close()
-	if err := moved.Resume(path); err != nil {
-		t.Fatalf("resume with a different worker count failed: %v", err)
-	}
+	moved := newJournaled(t, workersCfg, path)
+	moved.Close()
 
-	if err := moved.Resume(filepath.Join(t.TempDir(), "missing.journal")); err == nil {
+	// An explicit resume of a missing journal must fail; New's
+	// auto-detect treats it as a fresh start instead.
+	fresh := NewFlow(iounit.New(), journalTestConfig())
+	defer fresh.Close()
+	if err := fresh.resumeJournal(filepath.Join(t.TempDir(), "missing.journal")); err == nil {
 		t.Fatal("resume of a missing journal succeeded")
 	}
 }
@@ -148,9 +154,12 @@ func TestRoundSurvivesFailedHarvest(t *testing.T) {
 
 	flow := NewFlow(iounit.New(), cfg)
 	defer flow.Close()
-	_, err := flow.RunFamilyContext(ctx, iounit.FamilyName, 0.4)
+	_, err := flow.RunFamily(ctx, iounit.FamilyName, 0.4)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}
 	if flow.Round() != 0 {
 		t.Fatalf("failed harvest consumed round: Round() = %d, want 0", flow.Round())
@@ -162,7 +171,7 @@ func TestRoundSurvivesFailedHarvest(t *testing.T) {
 	// A fresh context completes the run; the harvested template must be
 	// round 1 — no skipped number.
 	rec.Progress = nil
-	report, err := flow.RunFamilyContext(context.Background(), iounit.FamilyName, 0.4)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coverage"
@@ -27,8 +28,15 @@ import (
 // independent Run calls for k targets this saves (k-1) x (corpus +
 // sampling) simulations.
 //
-// It returns one report per target event, in family order.
-func (f *Flow) RunPerEventShared(family string, decay float64) ([]*Report, error) {
+// It returns one report per target event, in family order. ctx cancels
+// as in RunFamily.
+func (f *Flow) RunPerEventShared(ctx context.Context, family string, decay float64) ([]*Report, error) {
+	reports, err := f.runPerEventShared(ctx, family, decay)
+	return reports, f.finish(err)
+}
+
+func (f *Flow) runPerEventShared(ctx context.Context, family string, decay float64) ([]*Report, error) {
+	f.begin(ctx)
 	model := f.env.Unit().Model()
 	famIDs, ok := model.Family(family)
 	if !ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/duv/l3cache"
@@ -8,7 +9,7 @@ import (
 
 func TestRunPerEventSharedBasics(t *testing.T) {
 	flow := NewFlow(l3cache.New(), smallConfig(21))
-	reports, err := flow.RunPerEventShared(l3cache.FamilyName, 0.4)
+	reports, err := flow.RunPerEventShared(context.Background(), l3cache.FamilyName, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,21 +45,22 @@ func TestRunPerEventSharedSavesSimulations(t *testing.T) {
 	cfg := smallConfig(22)
 
 	shared := NewFlow(l3cache.New(), cfg)
-	sharedReports, err := shared.RunPerEventShared(l3cache.FamilyName, 0.4)
+	sharedReports, err := shared.RunPerEventShared(context.Background(), l3cache.FamilyName, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sharedTotal := shared.Env().Simulations()
 
 	// Independent runs: one full RunFamily per target, each rebuilding
-	// sampling (corpus shared via SetRepository to isolate the sampling
-	// saving).
-	indep := NewFlow(l3cache.New(), cfg)
-	indep.SetRepository(shared.Repository()) // corpus for free
+	// sampling (corpus shared via Config.Repository to isolate the
+	// sampling saving).
+	indepCfg := cfg
+	indepCfg.Repository = shared.Repository() // corpus for free
+	indep := NewFlow(l3cache.New(), indepCfg)
 	base := indep.Env().Simulations()
 	k := len(sharedReports)
 	for i := 0; i < k; i++ {
-		if _, err := indep.RunFamily(l3cache.FamilyName, 0.4); err != nil {
+		if _, err := indep.RunFamily(context.Background(), l3cache.FamilyName, 0.4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,14 +78,14 @@ func TestRunPerEventSharedSavesSimulations(t *testing.T) {
 
 func TestRunPerEventSharedErrors(t *testing.T) {
 	flow := NewFlow(l3cache.New(), smallConfig(23))
-	if _, err := flow.RunPerEventShared("no_such_family", 0.4); err == nil {
+	if _, err := flow.RunPerEventShared(context.Background(), "no_such_family", 0.4); err == nil {
 		t.Fatal("unknown family should fail")
 	}
 }
 
 func TestRunPerEventSharedAccounting(t *testing.T) {
 	flow := NewFlow(l3cache.New(), smallConfig(24))
-	reports, err := flow.RunPerEventShared(l3cache.FamilyName, 0.4)
+	reports, err := flow.RunPerEventShared(context.Background(), l3cache.FamilyName, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}

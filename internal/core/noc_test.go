@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/coverage"
@@ -9,7 +10,7 @@ import (
 
 func TestFlowNoCFamily(t *testing.T) {
 	flow := NewFlow(noc.New(), smallConfig(51))
-	report, err := flow.RunFamily(noc.FamilyName, 0.5)
+	report, err := flow.RunFamily(context.Background(), noc.FamilyName, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestFlowNoCFamily(t *testing.T) {
 func TestFlowNoCCrossUTurnsStayDark(t *testing.T) {
 	unit := noc.New()
 	flow := NewFlow(unit, smallConfig(52))
-	report, err := flow.RunCross(noc.CrossName)
+	report, err := flow.RunCross(context.Background(), noc.CrossName)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -21,7 +22,7 @@ func runInstrumented(t *testing.T, workers int, rec *obs.Recorder) reportFingerp
 	cfg.Obs = rec
 	flow := NewFlow(iounit.New(), cfg)
 	defer flow.Close()
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

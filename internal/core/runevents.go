@@ -17,13 +17,14 @@ import (
 // minSim in [0, 1] sets the similarity cutoff; 0.5 is a reasonable
 // default. At least one target must already have evidence in the
 // repository — for fully dark targets, structural neighbors (RunFamily,
-// RunCross) are the right tool, exactly as in the paper.
-func (f *Flow) RunEvents(eventNames []string, minSim float64) (*Report, error) {
-	return f.RunEventsContext(context.Background(), eventNames, minSim)
+// RunCross) are the right tool, exactly as in the paper. ctx cancels as
+// in RunFamily.
+func (f *Flow) RunEvents(ctx context.Context, eventNames []string, minSim float64) (*Report, error) {
+	report, err := f.runEvents(ctx, eventNames, minSim)
+	return report, f.finish(err)
 }
 
-// RunEventsContext is RunEvents with cancellation (see RunFamilyContext).
-func (f *Flow) RunEventsContext(ctx context.Context, eventNames []string, minSim float64) (*Report, error) {
+func (f *Flow) runEvents(ctx context.Context, eventNames []string, minSim float64) (*Report, error) {
 	f.begin(ctx)
 	if len(eventNames) == 0 {
 		return nil, fmt.Errorf("core: no target events given")
@@ -42,5 +43,5 @@ func (f *Flow) RunEventsContext(ctx context.Context, eventNames []string, minSim
 	if err != nil {
 		return nil, err
 	}
-	return f.RunContext(ctx, neighbors.NewTarget(ws), targets)
+	return f.Run(ctx, neighbors.NewTarget(ws), targets)
 }

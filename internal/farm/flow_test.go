@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func runFlow(t *testing.T, faults []Faults) flowFingerprint {
 	}
 	flow := core.NewFlow(iounit.New(), cfg)
 	defer flow.Close()
-	report, err := flow.RunFamily(iounit.FamilyName, 1.0)
+	report, err := flow.RunFamily(context.Background(), iounit.FamilyName, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,7 +49,8 @@ type Options struct {
 	Runner      sim.ChunkRunner
 	RunnerLanes int
 	// Ctx, when non-nil, cancels the figure run: the current flow
-	// checkpoints (if journaled) and returns context.Canceled.
+	// checkpoints (if journaled) and returns an error satisfying
+	// errors.Is(err, core.ErrInterrupted).
 	Ctx context.Context
 	// JournalDir, when non-empty, checkpoints each figure's flow into
 	// <JournalDir>/<figN>.journal (crash-safe, see internal/journal).
@@ -79,20 +80,22 @@ func (o Options) ctx() context.Context {
 	return context.Background()
 }
 
-// arm attaches the figure's journal to its flow. With Resume set, an
-// existing journal is recovered and replayed; a missing one (the
-// previous run died before reaching this figure) starts fresh.
-func (o Options) arm(flow *core.Flow, name string) error {
+// journalPath resolves the figure's journal file for Config.Journal.
+// With Resume set, an existing journal is recovered and replayed (a
+// missing one — the previous run died before reaching this figure —
+// starts fresh); without it, any stale journal is removed so the run
+// starts over, matching the historical create-and-truncate behavior.
+func (o Options) journalPath(name string) (string, error) {
 	if o.JournalDir == "" {
-		return nil
+		return "", nil
 	}
 	path := filepath.Join(o.JournalDir, name+".journal")
-	if o.Resume {
-		if _, err := os.Stat(path); err == nil {
-			return flow.Resume(path)
+	if !o.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return "", err
 		}
 	}
-	return flow.StartJournal(path)
+	return path, nil
 }
 
 func scaled(n int, scale float64) int {
@@ -158,12 +161,17 @@ func Fig3(opts Options) (*Result, error) {
 		OptSims:               200,
 		BestSims:              scaled(10000, opts.Scale*10),
 	}
-	flow := core.NewFlow(unit, cfg)
-	defer flow.Close()
-	if err := opts.arm(flow, "fig3"); err != nil {
+	jp, err := opts.journalPath("fig3")
+	if err != nil {
 		return nil, err
 	}
-	reports, err := flow.RunFamilyRefinedContext(opts.ctx(), iounit.FamilyName, 0.4, opts.Rounds)
+	cfg.Journal = jp
+	flow, err := core.New(unit, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer flow.Close()
+	reports, err := flow.RunFamilyRefined(opts.ctx(), iounit.FamilyName, 0.4, opts.Rounds)
 	if err != nil {
 		return nil, err
 	}
@@ -213,12 +221,17 @@ func Fig4(opts Options) (*Result, error) {
 		OptSims:               100,
 		BestSims:              scaled(15000, opts.Scale*10),
 	}
-	flow := core.NewFlow(unit, cfg)
-	defer flow.Close()
-	if err := opts.arm(flow, "fig4"); err != nil {
+	jp, err := opts.journalPath("fig4")
+	if err != nil {
 		return nil, err
 	}
-	reports, err := flow.RunFamilyRefinedContext(opts.ctx(), l3cache.FamilyName, 0.4, opts.Rounds)
+	cfg.Journal = jp
+	flow, err := core.New(unit, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer flow.Close()
+	reports, err := flow.RunFamilyRefined(opts.ctx(), l3cache.FamilyName, 0.4, opts.Rounds)
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +281,17 @@ func Fig5(opts Options) (*Result, error) {
 		OptSims:               200,
 		BestSims:              scaled(20000, opts.Scale*10),
 	}
-	flow := core.NewFlow(unit, cfg)
-	defer flow.Close()
-	if err := opts.arm(flow, "fig5"); err != nil {
+	jp, err := opts.journalPath("fig5")
+	if err != nil {
 		return nil, err
 	}
-	report, err := flow.RunCrossContext(opts.ctx(), ifu.CrossName)
+	cfg.Journal = jp
+	flow, err := core.New(unit, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer flow.Close()
+	report, err := flow.RunCross(opts.ctx(), ifu.CrossName)
 	if err != nil {
 		return nil, err
 	}

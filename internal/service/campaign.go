@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/duv"
+)
+
+// Spec is a campaign submission: which unit to drive, what coverage to
+// chase, and which flow knobs to override. Exactly one of Family, Cross
+// or Events selects the target mode.
+type Spec struct {
+	// Unit names a built-in unit (duv.Names()).
+	Unit string `json:"unit"`
+
+	// Family targets a buffer-utilization event family (the paper's
+	// Figs. 3/4 experiments). Decay weights the approximated target
+	// (default 1.0 = plain family sum); Rounds is the number of
+	// refinement rounds (default 1).
+	Family string  `json:"family,omitempty"`
+	Decay  float64 `json:"decay,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+
+	// Cross targets a cross-product coverage model (the paper's IFU
+	// experiment).
+	Cross string `json:"cross,omitempty"`
+
+	// Events targets an explicit event list; MinSim is the minimum
+	// name-similarity for approximated-target neighbors (default 0.5).
+	Events []string `json:"events,omitempty"`
+	MinSim float64  `json:"min_sim,omitempty"`
+
+	// Seed makes the campaign reproducible (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Config overrides individual flow budgets; zero fields keep the
+	// flow's defaults.
+	Config SpecConfig `json:"config,omitempty"`
+}
+
+// SpecConfig is the subset of core.Config a campaign may override,
+// with JSON names matching the ascdg flag vocabulary.
+type SpecConfig struct {
+	CorpusSims      int `json:"corpus_sims,omitempty"`
+	TopTemplates    int `json:"top_templates,omitempty"`
+	Subranges       int `json:"subranges,omitempty"`
+	SampleTemplates int `json:"samples,omitempty"`
+	SampleSims      int `json:"sample_sims,omitempty"`
+	OptIterations   int `json:"iterations,omitempty"`
+	OptDirections   int `json:"directions,omitempty"`
+	OptSims         int `json:"opt_sims,omitempty"`
+	BestSims        int `json:"best_sims,omitempty"`
+	Workers         int `json:"workers,omitempty"`
+}
+
+func (s Spec) decay() float64 {
+	if s.Decay <= 0 || s.Decay > 1 {
+		return 1.0
+	}
+	return s.Decay
+}
+
+func (s Spec) rounds() int {
+	if s.Rounds <= 0 {
+		return 1
+	}
+	return s.Rounds
+}
+
+func (s Spec) minSim() float64 {
+	if s.MinSim <= 0 {
+		return 0.5
+	}
+	return s.MinSim
+}
+
+func (s Spec) seed() uint64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// validate rejects malformed submissions before they consume a
+// campaign id. Target names (family, cross, event names) are validated
+// by the flow itself at run time — the unit must exist, though, so a
+// typo fails fast at submission.
+func (s Spec) validate() error {
+	if s.Unit == "" {
+		return errors.New("service: spec: unit is required")
+	}
+	if _, err := duv.New(s.Unit); err != nil {
+		return fmt.Errorf("service: spec: %w", err)
+	}
+	modes := 0
+	if s.Family != "" {
+		modes++
+	}
+	if s.Cross != "" {
+		modes++
+	}
+	if len(s.Events) > 0 {
+		modes++
+	}
+	if modes != 1 {
+		return errors.New("service: spec: exactly one of family, cross or events is required")
+	}
+	return nil
+}
+
+// coreConfig expands the spec into the flow config it runs under.
+func (s Spec) coreConfig(defaultWorkers int) core.Config {
+	workers := s.Config.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	return core.Config{
+		Seed:                  s.seed(),
+		Workers:               workers,
+		CorpusSimsPerTemplate: s.Config.CorpusSims,
+		TopTemplates:          s.Config.TopTemplates,
+		Subranges:             s.Config.Subranges,
+		SampleTemplates:       s.Config.SampleTemplates,
+		SampleSims:            s.Config.SampleSims,
+		OptIterations:         s.Config.OptIterations,
+		OptDirections:         s.Config.OptDirections,
+		OptSims:               s.Config.OptSims,
+		BestSims:              s.Config.BestSims,
+	}
+}
+
+// State is a campaign's externally visible record: the submission, its
+// lifecycle position, and (once done) its reports. It is both the
+// campaign.json schema and the GET /v1/campaigns/{id} response body.
+type State struct {
+	ID          string        `json:"id"`
+	Spec        Spec          `json:"spec"`
+	State       string        `json:"state"`
+	Error       string        `json:"error,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Reports     []*ReportJSON `json:"reports,omitempty"`
+}
+
+func (st *State) clone() *State {
+	dup := *st
+	return &dup
+}

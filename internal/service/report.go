@@ -1,0 +1,86 @@
+package service
+
+import (
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/opt"
+)
+
+// ReportJSON is the wire view of a core.Report: event ids become
+// names, per-phase coverage is projected onto the target events, and
+// the harvested template is rendered as source text. Building it is
+// deterministic, so two bit-identical reports marshal to bit-identical
+// JSON — the property the restart-resume tests compare.
+type ReportJSON struct {
+	Unit         string   `json:"unit"`
+	TargetEvents []string `json:"target_events"`
+
+	// ChosenTemplates are the coarse-grained (TAC) search winners.
+	ChosenTemplates []TemplateScoreJSON `json:"chosen_templates"`
+
+	// Phases carry each phase's simulation spend and its hit counts on
+	// the target events, in flow order (before, sampling, optimization,
+	// best).
+	Phases []PhaseJSON `json:"phases"`
+
+	// BestWeights/BestTemplate are the harvested optimum.
+	BestWeights  []float64 `json:"best_weights,omitempty"`
+	BestTemplate string    `json:"best_template,omitempty"`
+
+	// Progress is the optimizer's per-iteration record (paper Fig. 6).
+	Progress []opt.IterRecord `json:"progress,omitempty"`
+
+	TotalSims uint64 `json:"total_sims"`
+}
+
+// TemplateScoreJSON is one coarse-search pick.
+type TemplateScoreJSON struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+	Sims  uint64  `json:"sims"`
+}
+
+// PhaseJSON is one phase's aggregate outcome, projected onto the
+// campaign's target events.
+type PhaseJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Sims        uint64 `json:"sims"`
+	// TargetHits[i] is the phase's hit count for TargetEvents[i].
+	TargetHits []uint64 `json:"target_hits"`
+}
+
+// NewReportJSON projects a report through the unit's coverage model.
+func NewReportJSON(r *core.Report, m *coverage.Model) *ReportJSON {
+	out := &ReportJSON{
+		Unit:        r.Unit,
+		BestWeights: r.BestWeights,
+		Progress:    r.Progress,
+		TotalSims:   r.TotalSims,
+	}
+	out.TargetEvents = make([]string, len(r.TargetEvents))
+	for i, id := range r.TargetEvents {
+		out.TargetEvents[i] = m.Name(id)
+	}
+	out.ChosenTemplates = make([]TemplateScoreJSON, len(r.ChosenTemplates))
+	for i, ts := range r.ChosenTemplates {
+		out.ChosenTemplates[i] = TemplateScoreJSON{Name: ts.Name, Score: ts.Score, Sims: ts.Sims}
+	}
+	out.Phases = make([]PhaseJSON, len(r.Phases))
+	for i, p := range r.Phases {
+		pj := PhaseJSON{
+			Name:        p.Name,
+			Description: p.Description,
+			Sims:        p.Counts.Sims(),
+			TargetHits:  make([]uint64, len(r.TargetEvents)),
+		}
+		for j, id := range r.TargetEvents {
+			pj.TargetHits[j] = p.Counts.Hits(id)
+		}
+		out.Phases[i] = pj
+	}
+	if r.BestTemplate != nil {
+		out.BestTemplate = r.BestTemplate.String()
+	}
+	return out
+}

@@ -1,0 +1,625 @@
+// Package service is the campaign layer of the AS-CDG system: a
+// long-running daemon core that accepts CDG campaigns, runs them with
+// bounded concurrency, and persists everything so a daemon restart
+// picks up exactly where the previous process died (DESIGN.md §11).
+//
+// Every campaign owns a directory under Config.DataDir:
+//
+//	<data>/<id>/campaign.json  current lifecycle state (atomic rename)
+//	<data>/<id>/flow.journal   the flow's crash-safe journal
+//	<data>/<id>/events.jsonl   the campaign's JSONL progress stream
+//	<data>/<id>/report.json    the final per-round reports, once done
+//
+// The flow journal is the resume mechanism: a campaign that was
+// "running" when the daemon stopped is re-enqueued at startup, and
+// core.New recovers the journal, replaying the completed prefix, so
+// the resumed campaign's reports are bit-identical to an uninterrupted
+// run (the invariant internal/chaos sweeps).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/atomicfile"
+	"repro/internal/core"
+	"repro/internal/duv"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Campaign lifecycle states. queued and running are live; done, failed
+// and canceled are terminal.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity; the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("service: campaign queue full")
+
+// ErrClosed rejects submissions after Close began draining.
+var ErrClosed = errors.New("service: draining")
+
+// Config configures a Service. The zero value of every optional field
+// selects the documented default.
+type Config struct {
+	// DataDir is the root of the campaign store (required). Each
+	// campaign gets its own subdirectory.
+	DataDir string
+
+	// MaxRunning bounds concurrently running campaigns (default 1 —
+	// campaigns are multi-phase simulation runs that each saturate the
+	// worker pool).
+	MaxRunning int
+
+	// MaxQueue bounds campaigns waiting behind the running ones
+	// (default 16). Submissions beyond it fail with ErrQueueFull.
+	MaxQueue int
+
+	// RetryAfter is the backoff hint attached to ErrQueueFull
+	// rejections (default 15s).
+	RetryAfter time.Duration
+
+	// Workers sizes each campaign flow's simulation pool (<= 0:
+	// GOMAXPROCS). A campaign spec may override it.
+	Workers int
+
+	// Runner and RunnerLanes pass a remote chunk runner (the farm
+	// dispatcher) through to every campaign flow. Purely a throughput
+	// knob: reports are bit-identical with or without it.
+	Runner      sim.ChunkRunner
+	RunnerLanes int
+
+	// Rec instruments the service (service.* metrics, campaign spans)
+	// and is shared as the Metrics/Trace sink of every campaign flow.
+	// Each campaign additionally gets a private Progress sink writing
+	// its events.jsonl.
+	Rec *obs.Recorder
+
+	// flowArmed, when non-nil, observes every campaign flow right after
+	// construction and before the run starts — the test seam used to
+	// interrupt campaigns at exact journal positions.
+	flowArmed func(id string, f *core.Flow)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 15 * time.Second
+	}
+	return c
+}
+
+// campaign is one submitted campaign: its persisted state plus the
+// in-process handles needed to run and cancel it.
+type campaign struct {
+	dir string
+
+	mu             sync.Mutex
+	st             State
+	cancel         context.CancelFunc // non-nil while running
+	canceledByUser bool
+	done           chan struct{} // closed when the campaign leaves the live states
+}
+
+// Service runs campaigns. Create with New, stop with Close.
+type Service struct {
+	cfg Config
+	rec *obs.Recorder
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	campaigns map[string]*campaign
+	queue     []string // FIFO of queued campaign ids
+	running   int
+	nextID    int
+	closed    bool
+
+	wg sync.WaitGroup // dispatcher + running campaigns
+}
+
+// New opens (or creates) the campaign store at cfg.DataDir, re-enqueues
+// every campaign the previous daemon left queued or running — resumed
+// campaigns go first, in submission order — and starts the dispatcher.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("service: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		rec:        cfg.Rec,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		campaigns:  map[string]*campaign{},
+		nextID:     1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// recover loads every persisted campaign and rebuilds the queue:
+// previously-running campaigns first (their journals resume), then the
+// previously-queued ones, both in submission order.
+func (s *Service) recover() error {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	var resumed, queued []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.cfg.DataDir, e.Name())
+		st, err := loadState(dir)
+		if err != nil {
+			return fmt.Errorf("service: recovering %s: %w", e.Name(), err)
+		}
+		c := &campaign{dir: dir, st: *st, done: make(chan struct{})}
+		switch st.State {
+		case StateRunning:
+			// The previous daemon died (or drained) mid-campaign. The flow
+			// journal holds the completed prefix; re-running replays it.
+			c.st.State = StateQueued
+			resumed = append(resumed, st.ID)
+			s.counter("service.resumed").Inc()
+		case StateQueued:
+			queued = append(queued, st.ID)
+		default:
+			close(c.done)
+		}
+		s.campaigns[st.ID] = c
+		if n := idNumber(st.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	sort.Strings(resumed)
+	sort.Strings(queued)
+	s.queue = append(resumed, queued...)
+	s.gauge("service.queued").Set(int64(len(s.queue)))
+	return nil
+}
+
+// Submit validates and enqueues a campaign, returning its id. The
+// submission is durable before Submit returns: a daemon restart
+// re-enqueues it.
+func (s *Service) Submit(spec Spec) (string, error) {
+	if err := spec.validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.counter("service.rejected").Inc()
+		return "", fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.MaxQueue)
+	}
+	id := fmt.Sprintf("c%06d", s.nextID)
+	s.nextID++
+	dir := filepath.Join(s.cfg.DataDir, id)
+	c := &campaign{
+		dir: dir,
+		st: State{
+			ID:          id,
+			Spec:        spec,
+			State:       StateQueued,
+			SubmittedAt: time.Now().UTC(),
+		},
+		done: make(chan struct{}),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	if err := saveState(dir, &c.st); err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	s.campaigns[id] = c
+	s.queue = append(s.queue, id)
+	s.counter("service.submitted").Inc()
+	s.gauge("service.queued").Set(int64(len(s.queue)))
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.rec.Emit("campaign_submitted", map[string]any{"id": id, "unit": spec.Unit})
+	return id, nil
+}
+
+// Get returns a snapshot of the campaign's state (reports included once
+// done), or nil if the id is unknown.
+func (s *Service) Get(id string) *State {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	st := c.st.clone()
+	c.mu.Unlock()
+	if st.State == StateDone && st.Reports == nil {
+		// Terminal reports live on disk, not in memory: load on demand so
+		// a restarted daemon serves old campaigns without caching them.
+		if reports, err := loadReports(c.dir); err == nil {
+			st.Reports = reports
+		}
+	}
+	return st
+}
+
+// List returns every campaign's state snapshot (without reports),
+// sorted by id.
+func (s *Service) List() []*State {
+	s.mu.Lock()
+	cs := make([]*campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	out := make([]*State, 0, len(cs))
+	for _, c := range cs {
+		c.mu.Lock()
+		out = append(out, c.st.clone())
+		c.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel stops a campaign: a queued one is withdrawn, a running one is
+// interrupted (its journal keeps the completed prefix). Terminal
+// campaigns are left untouched. Returns the post-cancel state, or nil
+// for an unknown id.
+func (s *Service) Cancel(id string) *State {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	if c == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	c.mu.Lock()
+	switch c.st.State {
+	case StateQueued:
+		c.st.State = StateCanceled
+		c.st.FinishedAt = now()
+		saveState(c.dir, &c.st)
+		close(c.done)
+		for i, qid := range s.queue {
+			if qid == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.gauge("service.queued").Set(int64(len(s.queue)))
+		s.counter("service.canceled").Inc()
+	case StateRunning:
+		c.canceledByUser = true
+		c.cancel()
+	}
+	st := c.st.clone()
+	c.mu.Unlock()
+	s.mu.Unlock()
+	return st
+}
+
+// Wait blocks until the campaign reaches a terminal state, the context
+// is done, or the id is unknown (returns immediately).
+func (s *Service) Wait(ctx context.Context, id string) {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+	}
+}
+
+// EventsPath returns the campaign's JSONL progress file path (the file
+// appears when the campaign starts running), or "" for an unknown id.
+func (s *Service) EventsPath(id string) string {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return ""
+	}
+	return filepath.Join(c.dir, "events.jsonl")
+}
+
+// Done reports whether the campaign has reached a terminal state (also
+// true for unknown ids, so event streams terminate).
+func (s *Service) Done(id string) bool {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return true
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryAfter is the backoff hint for ErrQueueFull rejections.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Close drains the service: no new submissions, running campaigns are
+// interrupted (their journals checkpoint the completed prefix and their
+// state stays "running" on disk so the next daemon resumes them), and
+// queued campaigns stay queued. Blocks until every campaign goroutine
+// has exited.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// dispatch pops queued campaigns in FIFO order whenever a running slot
+// is free and spawns their runner goroutines.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && (len(s.queue) == 0 || s.running >= s.cfg.MaxRunning) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		c := s.campaigns[id]
+		s.running++
+		s.gauge("service.queued").Set(int64(len(s.queue)))
+		s.gauge("service.running").Set(int64(s.running))
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		c.mu.Lock()
+		c.st.State = StateRunning
+		c.st.StartedAt = now()
+		c.cancel = cancel
+		saveState(c.dir, &c.st)
+		c.mu.Unlock()
+		s.wg.Add(1)
+		go s.runCampaign(c, ctx, cancel)
+		s.mu.Unlock()
+	}
+}
+
+// runCampaign executes one campaign to a terminal state (or to an
+// interruption that the next daemon resumes).
+func (s *Service) runCampaign(c *campaign, ctx context.Context, cancel context.CancelFunc) {
+	defer s.wg.Done()
+	defer cancel()
+	id := c.st.ID
+	span := s.rec.Span("campaign", id)
+	s.rec.Emit("campaign_start", map[string]any{"id": id, "unit": c.st.Spec.Unit})
+
+	reports, err := s.executeFlow(c, ctx)
+
+	c.mu.Lock()
+	c.cancel = nil
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	byUser := c.canceledByUser
+	switch {
+	case err == nil:
+		c.st.State = StateDone
+		c.st.FinishedAt = now()
+		c.st.Reports = reports
+		if perr := saveReports(c.dir, reports); perr != nil {
+			c.st.State = StateFailed
+			c.st.Error = perr.Error()
+		}
+		saveState(c.dir, &c.st)
+		close(c.done)
+		s.counter("service.completed").Inc()
+	case interrupted && byUser:
+		c.st.State = StateCanceled
+		c.st.FinishedAt = now()
+		saveState(c.dir, &c.st)
+		close(c.done)
+		s.counter("service.canceled").Inc()
+	case interrupted:
+		// Daemon drain: the journal holds the completed prefix and the
+		// on-disk state stays "running", which the next daemon's recover
+		// re-enqueues. The in-memory campaign is finished for this
+		// process's lifetime.
+		close(c.done)
+	default:
+		c.st.State = StateFailed
+		c.st.Error = err.Error()
+		c.st.FinishedAt = now()
+		saveState(c.dir, &c.st)
+		close(c.done)
+		s.counter("service.failed").Inc()
+	}
+	state := c.st.State
+	c.mu.Unlock()
+
+	s.rec.Emit("campaign_end", map[string]any{"id": id, "state": state})
+	span.End()
+
+	s.mu.Lock()
+	s.running--
+	s.gauge("service.running").Set(int64(s.running))
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// executeFlow builds the campaign's journaled flow and runs the
+// requested target, returning the per-round reports.
+func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, error) {
+	spec := c.st.Spec
+	unit, err := duv.New(spec.Unit)
+	if err != nil {
+		return nil, err
+	}
+	events, err := os.OpenFile(filepath.Join(c.dir, "events.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer events.Close()
+
+	// Per-campaign recorder: metrics and trace aggregate into the
+	// service's sinks, progress streams into the campaign's own file.
+	rec := &obs.Recorder{Progress: obs.NewProgress(events)}
+	if s.rec != nil {
+		rec.Metrics = s.rec.Metrics
+		rec.Trace = s.rec.Trace
+	}
+
+	cfg := spec.coreConfig(s.cfg.Workers)
+	cfg.Obs = rec
+	cfg.Runner = s.cfg.Runner
+	cfg.RunnerLanes = s.cfg.RunnerLanes
+	cfg.Journal = filepath.Join(c.dir, "flow.journal")
+	flow, err := core.New(unit, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer flow.Close()
+	if s.cfg.flowArmed != nil {
+		s.cfg.flowArmed(c.st.ID, flow)
+	}
+
+	var reports []*core.Report
+	switch {
+	case spec.Family != "":
+		reports, err = flow.RunFamilyRefined(ctx, spec.Family, spec.decay(), spec.rounds())
+	case spec.Cross != "":
+		var r *core.Report
+		r, err = flow.RunCross(ctx, spec.Cross)
+		if r != nil {
+			reports = append(reports, r)
+		}
+	default:
+		var r *core.Report
+		r, err = flow.RunEvents(ctx, spec.Events, spec.minSim())
+		if r != nil {
+			reports = append(reports, r)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ReportJSON, len(reports))
+	for i, r := range reports {
+		out[i] = NewReportJSON(r, unit.Model())
+	}
+	return out, nil
+}
+
+func (s *Service) counter(name string) *obs.Counter { return s.rec.Counter(name) }
+func (s *Service) gauge(name string) *obs.Gauge     { return s.rec.Gauge(name) }
+
+func now() *time.Time {
+	t := time.Now().UTC()
+	return &t
+}
+
+// idNumber parses the numeric part of a campaign id ("c000042" → 42);
+// foreign directory names yield 0 and never advance the allocator.
+func idNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "c%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+const stateFile = "campaign.json"
+
+func loadState(dir string) (*State, error) {
+	data, err := os.ReadFile(filepath.Join(dir, stateFile))
+	if err != nil {
+		return nil, err
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// saveState persists the campaign's lifecycle record crash-safely.
+// Reports are persisted separately (report.json); the state file stays
+// small so every transition is one cheap atomic rename.
+func saveState(dir string, st *State) error {
+	slim := st.clone()
+	slim.Reports = nil
+	return atomicfile.WriteFile(filepath.Join(dir, stateFile), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(slim)
+	})
+}
+
+func loadReports(dir string) ([]*ReportJSON, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	if err != nil {
+		return nil, err
+	}
+	var reports []*ReportJSON
+	if err := json.Unmarshal(data, &reports); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+func saveReports(dir string, reports []*ReportJSON) error {
+	return atomicfile.WriteFile(filepath.Join(dir, "report.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	})
+}

