@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retryAfter := fs.Duration("retry-after", 15*time.Second, "Retry-After hint attached to 429 rejections")
 	workers := fs.Int("workers", 0, "simulation worker goroutines per campaign (<= 0: GOMAXPROCS)")
 	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
+	farmProto := fs.Int("proto", 0, "highest farm wire protocol to negotiate (0: highest supported; 1 forces JSON frames)")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the daemon's lifetime to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream the service's own JSONL events (submissions, campaign starts/ends) to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr at exit")
@@ -98,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rec:        sess.Recorder(),
 	}
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto})
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(stderr, "cdgd: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)

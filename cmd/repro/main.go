@@ -38,6 +38,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	farmAddrs := flag.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
+	farmProto := flag.Int("proto", 0, "highest farm wire protocol to negotiate (0: highest supported; 1 forces JSON frames)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -90,7 +91,7 @@ func main() {
 		Obs: sess.Recorder(), Ctx: ctx, JournalDir: *journalDir, Resume: *resume,
 	}
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder()})
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto})
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)

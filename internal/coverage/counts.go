@@ -1,6 +1,9 @@
 package coverage
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Counts aggregates coverage vectors: per-event hit counts over a number
 // of simulations. A hit count is the number of simulations in which the
@@ -27,14 +30,22 @@ func (c *Counts) Len() int { return len(c.hits) }
 // Sims returns the number of simulations aggregated.
 func (c *Counts) Sims() uint64 { return c.sims }
 
-// Add aggregates one simulation's coverage vector.
+// Add aggregates one simulation's coverage vector. It walks the
+// vector's words directly (popcount-style bit extraction) rather than
+// materializing HitIDs(), so the hottest aggregation loop in the system
+// — one Add per simulation — allocates nothing.
 func (c *Counts) Add(v Vector) {
-	if v.Len() != len(c.hits) {
-		panic(fmt.Sprintf("coverage: Counts.Add: vector has %d events, counts track %d", v.Len(), len(c.hits)))
+	if v.n != len(c.hits) {
+		panic(fmt.Sprintf("coverage: Counts.Add: vector has %d events, counts track %d", v.n, len(c.hits)))
 	}
 	c.sims++
-	for _, id := range v.HitIDs() {
-		c.hits[id]++
+	hits := c.hits
+	for wi, w := range v.words {
+		base := wi << 6
+		for w != 0 {
+			hits[base+bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
 	}
 }
 
@@ -75,6 +86,34 @@ func (c *Counts) Raw() ([]uint64, uint64) {
 	hits := make([]uint64, len(c.hits))
 	copy(hits, c.hits)
 	return hits, c.sims
+}
+
+// AppendRaw appends the per-event hit counts to dst (reusing its
+// capacity) and returns the extended slice plus the simulation count —
+// the allocation-free form of Raw for encoders that own a reusable
+// scratch buffer.
+func (c *Counts) AppendRaw(dst []uint64) ([]uint64, uint64) {
+	return append(dst, c.hits...), c.sims
+}
+
+// AddRaw merges a wire-form aggregate (per-event hit counts + sim
+// count) into c without an intermediate Counts allocation — the decode
+// side of AppendRaw. The caller keeps ownership of hits.
+func (c *Counts) AddRaw(hits []uint64, sims uint64) {
+	if len(hits) != len(c.hits) {
+		panic(fmt.Sprintf("coverage: Counts.AddRaw: size mismatch %d vs %d", len(hits), len(c.hits)))
+	}
+	c.sims += sims
+	for i, h := range hits {
+		c.hits[i] += h
+	}
+}
+
+// Reset zeroes the aggregate in place, keeping its event capacity —
+// so per-lane scratch aggregates can be reused across chunks.
+func (c *Counts) Reset() {
+	c.sims = 0
+	clear(c.hits)
 }
 
 // CountsFromRaw reconstructs an aggregate from its wire form (a copy is

@@ -50,6 +50,12 @@ type Options struct {
 	// MaxConnsPerWorker caps connections per address; the effective
 	// count is min(cap, worker's advertised capacity). <= 0: 8.
 	MaxConnsPerWorker int
+	// MaxVersion caps the chunk-path protocol version this dispatcher
+	// offers in its hello (the -proto flag). 0 means the highest this
+	// build speaks (ProtocolVersion); 1 forces v1 JSON frames even
+	// against v2-capable workers. Each connection uses the minimum of
+	// this and the worker's own maximum.
+	MaxVersion int
 	// Dial opens a transport to a worker address. nil: TCP. The
 	// fault-injection loopback substitutes its own.
 	Dial func(addr string) (net.Conn, error)
@@ -85,6 +91,7 @@ func (o *Options) setDefaults() {
 	if o.MaxConnsPerWorker <= 0 {
 		o.MaxConnsPerWorker = 8
 	}
+	o.MaxVersion = clampMaxVersion(o.MaxVersion)
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
@@ -127,6 +134,9 @@ type Dispatcher struct {
 	mEvicts    *obs.Counter
 	mCanceled  *obs.Counter
 	mInflight  *obs.Gauge
+	mProto     *obs.Gauge
+	mConnsV1   *obs.Counter
+	mConnsV2   *obs.Counter
 	hRPCNs     *obs.Histogram
 	tracer     *obs.Tracer
 }
@@ -158,6 +168,13 @@ type wconn struct {
 	nextID  uint64
 	dead    atomic.Bool
 	broken  chan struct{} // closed by kill; wakes the keeper to redial
+
+	// cdc speaks the version negotiated for this connection; its
+	// grow-once buffers plus the reusable read frame rf (whose Hits
+	// capacity is retained across results) make the steady-state
+	// exchange path allocation-free under v2.
+	cdc codec
+	rf  Frame
 }
 
 // New starts a dispatcher for the given worker addresses. It returns
@@ -183,6 +200,9 @@ func New(addrs []string, opts Options) *Dispatcher {
 		d.mEvicts = rec.Counter("farm.conn_evictions")
 		d.mCanceled = rec.Counter("farm.chunks_canceled")
 		d.mInflight = rec.Gauge("farm.inflight")
+		d.mProto = rec.Gauge("farm.proto_version")
+		d.mConnsV1 = rec.Counter("farm.conns_v1")
+		d.mConnsV2 = rec.Counter("farm.conns_v2")
 		d.hRPCNs = rec.Histogram("farm.rpc_ns", obs.LatencyBounds())
 		d.tracer = rec.Trace
 	}
@@ -224,14 +244,30 @@ func (d *Dispatcher) WaitReady(timeout time.Duration) error {
 // reporting failure (which sends the chunk to the scheduler's local
 // fallback).
 func (d *Dispatcher) RunChunk(c sim.RemoteChunk) (*coverage.Counts, error) {
+	counts := coverage.NewCounts(c.Events)
+	if err := d.RunChunkInto(c, counts); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// RunChunkInto implements sim.ChunkRunnerInto: like RunChunk, but the
+// chunk's aggregate is merged into dst (which must be zeroed and sized
+// to c.Events). The scheduler's remote lanes call this with per-lane
+// scratch, so a healthy v2 session moves chunks with no per-chunk
+// allocation on either end.
+func (d *Dispatcher) RunChunkInto(c sim.RemoteChunk, dst *coverage.Counts) error {
+	if dst.Len() != c.Events {
+		return fmt.Errorf("farm: RunChunkInto: dst has %d events, chunk has %d", dst.Len(), c.Events)
+	}
 	select {
 	case <-d.closed:
-		return nil, ErrDispatcherClosed
+		return ErrDispatcherClosed
 	default:
 	}
 	if err := d.ctxErr(); err != nil {
 		d.mCanceled.Inc()
-		return nil, err
+		return err
 	}
 	var lastErr error
 	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
@@ -253,19 +289,28 @@ func (d *Dispatcher) RunChunk(c sim.RemoteChunk) (*coverage.Counts, error) {
 			}
 			break
 		}
+		if err := CheckModelFits(c.Events, w.cdc.version); err != nil {
+			// The connection is fine — the model simply cannot travel in
+			// a legal frame at this session's version. Retrying would
+			// fail identically, so surface the typed error immediately
+			// and keep the connection.
+			d.put(w)
+			d.mErrors.Inc()
+			return err
+		}
 		d.mInflight.Add(1)
-		counts, err := d.exchange(w, c)
+		err := d.exchange(w, c, dst)
 		d.mInflight.Add(-1)
 		if err == nil {
 			d.mChunks.Inc()
 			d.put(w)
-			return counts, nil
+			return nil
 		}
 		lastErr = err
 		d.mErrors.Inc()
 		d.kill(w)
 	}
-	return nil, lastErr
+	return lastErr
 }
 
 // exchange performs one chunk RPC on a connection the caller owns,
@@ -273,7 +318,7 @@ func (d *Dispatcher) RunChunk(c sim.RemoteChunk) (*coverage.Counts, error) {
 // a flaky transport, late heartbeat replies) are skipped by correlation
 // ID, so a noisy connection either yields the right answer or an error
 // — never a mismatched one.
-func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk) (*coverage.Counts, error) {
+func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) error {
 	sp := d.tracer.Span("farm", "rpc")
 	if sp != nil {
 		sp = sp.WithTid(200 + w.addrIdx)
@@ -281,40 +326,42 @@ func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk) (*coverage.Counts, er
 		sp.SetArg("instances", c.Hi-c.Lo)
 	}
 	start := time.Now()
-	counts, err := d.exchange1(w, c)
+	err := d.exchange1(w, c, dst)
 	d.hRPCNs.Observe(uint64(time.Since(start)))
 	if sp != nil {
 		sp.SetArg("ok", err == nil)
 		sp.End()
 	}
-	return counts, err
+	return err
 }
 
-func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk) (*coverage.Counts, error) {
+func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) error {
 	w.conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
 	defer w.conn.SetDeadline(time.Time{})
 	id := w.nextID
 	w.nextID++
-	if err := WriteFrame(w.conn, chunkFrame(id, c)); err != nil {
-		return nil, err
+	fillChunkFrame(&w.rf, id, c)
+	if err := w.cdc.write(w.conn, &w.rf); err != nil {
+		return err
 	}
 	for {
-		var f Frame
-		if err := ReadFrame(w.conn, &f); err != nil {
-			return nil, err
+		f := &w.rf
+		if err := w.cdc.read(w.conn, f); err != nil {
+			return err
 		}
 		if f.Type != TypeResult || f.ID != id {
 			continue // stale duplicate or heartbeat reply; keep reading
 		}
 		if f.Err != "" {
-			return nil, fmt.Errorf("farm: worker %s: %s", w.addr, f.Err)
+			return fmt.Errorf("farm: worker %s: %s", w.addr, f.Err)
 		}
 		n := uint64(c.Hi - c.Lo)
 		if len(f.Hits) != c.Events || f.Sims != n {
-			return nil, fmt.Errorf("farm: worker %s: malformed result (%d events/%d sims, want %d/%d)",
+			return fmt.Errorf("farm: worker %s: malformed result (%d events/%d sims, want %d/%d)",
 				w.addr, len(f.Hits), f.Sims, c.Events, n)
 		}
-		return coverage.CountsFromRaw(f.Hits, f.Sims), nil
+		dst.AddRaw(f.Hits, f.Sims)
+		return nil
 	}
 }
 
@@ -419,15 +466,19 @@ func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Onc
 	}
 }
 
-// dial opens and handshakes one connection. A handshake refusal (error
-// frame, wrong welcome) maps onto ErrVersionMismatch.
+// dial opens and handshakes one connection. The hello/welcome exchange
+// is always v1 JSON — the hello advertises the dispatcher's highest
+// supported chunk-path version in Max, the welcome answers with the
+// negotiated one, and the connection's codec switches to it. A
+// handshake refusal (error frame, wrong welcome, nonsense negotiation)
+// maps onto ErrVersionMismatch.
 func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 	conn, err := d.opts.Dial(addr)
 	if err != nil {
 		return nil, 0, err
 	}
 	conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
-	if err := WriteFrame(conn, &Frame{Type: TypeHello, Version: ProtocolVersion}); err != nil {
+	if err := WriteFrame(conn, &Frame{Type: TypeHello, Version: ProtocolV1, Max: d.opts.MaxVersion}); err != nil {
 		conn.Close()
 		return nil, 0, err
 	}
@@ -441,9 +492,24 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 		conn.Close()
 		return nil, 0, fmt.Errorf("%w: worker %s: %s", ErrVersionMismatch, addr, f.Err)
 	}
-	if f.Type != TypeWelcome || f.Version != ProtocolVersion {
+	if f.Type != TypeWelcome || f.Version != ProtocolV1 {
 		conn.Close()
 		return nil, 0, fmt.Errorf("%w: worker %s answered %q v%d", ErrVersionMismatch, addr, f.Type, f.Version)
+	}
+	version := f.Max
+	if version == 0 {
+		version = ProtocolV1 // pre-negotiation worker: field absent
+	}
+	if version < ProtocolV1 || version > d.opts.MaxVersion {
+		conn.Close()
+		return nil, 0, fmt.Errorf("%w: worker %s negotiated v%d (offered max v%d)",
+			ErrVersionMismatch, addr, version, d.opts.MaxVersion)
+	}
+	d.mProto.Set(int64(version))
+	if version >= ProtocolV2 {
+		d.mConnsV2.Inc()
+	} else {
+		d.mConnsV1.Inc()
 	}
 	capacity := f.Capacity
 	if capacity < 1 {
@@ -454,6 +520,7 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 		addr:    addr,
 		addrIdx: addrIdx,
 		broken:  make(chan struct{}),
+		cdc:     codec{version: version},
 	}, capacity, nil
 }
 
@@ -495,15 +562,15 @@ func (d *Dispatcher) ping(w *wconn) error {
 	defer w.conn.SetDeadline(time.Time{})
 	id := w.nextID
 	w.nextID++
-	if err := WriteFrame(w.conn, &Frame{Type: TypePing, ID: id}); err != nil {
+	w.rf = Frame{Type: TypePing, ID: id, Hits: w.rf.Hits[:0]}
+	if err := w.cdc.write(w.conn, &w.rf); err != nil {
 		return err
 	}
 	for {
-		var f Frame
-		if err := ReadFrame(w.conn, &f); err != nil {
+		if err := w.cdc.read(w.conn, &w.rf); err != nil {
 			return err
 		}
-		if f.Type == TypePong && f.ID == id {
+		if w.rf.Type == TypePong && w.rf.ID == id {
 			return nil
 		}
 		// Skip stale duplicates from a flaky transport.

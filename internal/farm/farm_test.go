@@ -78,16 +78,30 @@ func diffCounts(t *testing.T, label string, got, want *coverage.Counts) {
 
 // farmFixture wires a loopback fleet to a dispatcher.
 func farmFixture(t *testing.T, faults []Faults, rec *obs.Recorder) (*Dispatcher, []*Server) {
+	return farmFixtureV(t, faults, nil, 0, rec)
+}
+
+// farmFixtureV is farmFixture with protocol caps: serverMax[i] bounds
+// worker i's negotiable version (nil or 0: highest supported) and
+// dispMax bounds the dispatcher's (0: highest supported) — the
+// mixed-fleet fixture.
+func farmFixtureV(t *testing.T, faults []Faults, serverMax []int, dispMax int, rec *obs.Recorder) (*Dispatcher, []*Server) {
 	t.Helper()
 	lb := NewLoopback()
 	addrs := make([]string, len(faults))
 	servers := make([]*Server, len(faults))
 	for i, f := range faults {
-		servers[i] = NewServer(ServerOptions{Capacity: 2, DrainTimeout: 2 * time.Second})
+		maxV := 0
+		if serverMax != nil {
+			maxV = serverMax[i]
+		}
+		servers[i] = NewServer(ServerOptions{Capacity: 2, DrainTimeout: 2 * time.Second, MaxVersion: maxV})
 		addrs[i] = string(rune('a' + i))
 		lb.Add(addrs[i], servers[i], f)
 	}
-	d := New(addrs, testOptions(lb.Dial, rec))
+	opts := testOptions(lb.Dial, rec)
+	opts.MaxVersion = dispMax
+	d := New(addrs, opts)
 	t.Cleanup(d.Close)
 	t.Cleanup(func() {
 		for _, s := range servers {
@@ -266,7 +280,9 @@ func TestServerDrain(t *testing.T) {
 		client, server := net.Pipe()
 		go srv.ServeConn(server)
 		client.SetDeadline(time.Now().Add(10 * time.Second))
-		if err := WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolVersion}); err != nil {
+		// No Max field: the session negotiates v1, so the raw frames
+		// below stay JSON.
+		if err := WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolV1}); err != nil {
 			t.Fatal(err)
 		}
 		var f Frame
@@ -315,7 +331,7 @@ func TestServerDrain(t *testing.T) {
 	defer client.Close()
 	go srv.ServeConn(server)
 	client.SetDeadline(time.Now().Add(5 * time.Second))
-	WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolVersion})
+	WriteFrame(client, &Frame{Type: TypeHello, Version: ProtocolV1})
 	if err := ReadFrame(client, &f); err == nil {
 		t.Fatalf("draining server answered handshake: %+v", f)
 	}

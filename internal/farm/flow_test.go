@@ -42,6 +42,12 @@ func flowFP(r *core.Report) flowFingerprint {
 }
 
 func runFlow(t *testing.T, faults []Faults) flowFingerprint {
+	return runFlowV(t, faults, nil, 0)
+}
+
+// runFlowV is runFlow over a version-mixed fleet: serverMax caps each
+// worker's protocol (nil/0: highest), dispMax the dispatcher's.
+func runFlowV(t *testing.T, faults []Faults, serverMax []int, dispMax int) flowFingerprint {
 	t.Helper()
 	cfg := core.Config{
 		Seed:                  21,
@@ -57,7 +63,7 @@ func runFlow(t *testing.T, faults []Faults) flowFingerprint {
 		BestSims:              250,
 	}
 	if faults != nil {
-		d, _ := farmFixture(t, faults, nil)
+		d, _ := farmFixtureV(t, faults, serverMax, dispMax, nil)
 		if err := d.WaitReady(10 * time.Second); err != nil {
 			t.Fatal(err)
 		}
@@ -95,5 +101,29 @@ func TestFlowReportBitIdenticalWithFarm(t *testing.T) {
 	})
 	if !reflect.DeepEqual(local, faulty) {
 		t.Fatalf("faulty farm diverged from local flow:\n%+v\nvs\n%+v", faulty, local)
+	}
+}
+
+// TestFlowReportBitIdenticalAcrossProtocols is the protocol-v2
+// acceptance criterion at system level: the full flow's report must be
+// bit-identical whether the fleet speaks v1 only, v2 only, or a mix of
+// both — under fault injection — so a rolling fleet upgrade can never
+// change a published number.
+func TestFlowReportBitIdenticalAcrossProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow x3; skipped in -short")
+	}
+	faults := []Faults{
+		{DropAfterFrames: 10, Delay: time.Millisecond},
+		{DuplicateEvery: 2, FailDials: 2},
+	}
+	v1Only := runFlowV(t, faults, nil, 1)
+	v2Only := runFlowV(t, faults, nil, 0)
+	mixed := runFlowV(t, faults, []int{1, 0}, 0)
+	if !reflect.DeepEqual(v1Only, v2Only) {
+		t.Fatalf("v2 fleet diverged from v1 fleet:\n%+v\nvs\n%+v", v2Only, v1Only)
+	}
+	if !reflect.DeepEqual(v1Only, mixed) {
+		t.Fatalf("mixed fleet diverged:\n%+v\nvs\n%+v", mixed, v1Only)
 	}
 }

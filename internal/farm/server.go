@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -29,6 +30,10 @@ type ServerOptions struct {
 	// (severed chunks are re-run by the dispatcher's fallback, so drain
 	// is an optimization, never a correctness requirement). <= 0: 10s.
 	DrainTimeout time.Duration
+	// MaxVersion caps the protocol version this worker negotiates
+	// (0 or out of range: ProtocolVersion). Set 1 to force the v1 JSON
+	// codec for debugging mixed fleets (farmd's -proto flag).
+	MaxVersion int
 	// Rec receives the worker's metrics and traces (nil disables).
 	Rec *obs.Recorder
 }
@@ -54,6 +59,9 @@ type Server struct {
 	mChunks  *obs.Counter
 	mErrors  *obs.Counter
 	mRefused *obs.Counter
+	mProto   *obs.Gauge   // farm.server.proto_version: last negotiated
+	mConnsV1 *obs.Counter // connections negotiated at v1
+	mConnsV2 *obs.Counter // connections negotiated at v2
 	hChunkNs *obs.Histogram
 	hSims    *obs.Histogram
 	tracer   *obs.Tracer
@@ -75,6 +83,7 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 10 * time.Second
 	}
+	opts.MaxVersion = clampMaxVersion(opts.MaxVersion)
 	s := &Server{
 		opts:  opts,
 		sem:   make(chan struct{}, opts.Capacity),
@@ -87,6 +96,9 @@ func NewServer(opts ServerOptions) *Server {
 		s.mChunks = rec.Counter("farm.server.chunks")
 		s.mErrors = rec.Counter("farm.server.chunk_errors")
 		s.mRefused = rec.Counter("farm.server.refused")
+		s.mProto = rec.Gauge("farm.server.proto_version")
+		s.mConnsV1 = rec.Counter("farm.server.conns_v1")
+		s.mConnsV2 = rec.Counter("farm.server.conns_v2")
 		s.hChunkNs = rec.Histogram("farm.server.chunk_ns", obs.LatencyBounds())
 		s.hSims = rec.Histogram("farm.server.chunk_size", obs.SizeBounds())
 		s.tracer = rec.Trace
@@ -96,6 +108,10 @@ func NewServer(opts ServerOptions) *Server {
 
 // Capacity reports the worker's concurrent-chunk bound.
 func (s *Server) Capacity() int { return cap(s.sem) }
+
+// MaxVersion reports the highest protocol version the worker offers in
+// its welcome frames.
+func (s *Server) MaxVersion() int { return s.opts.MaxVersion }
 
 // Serve accepts connections until the listener fails or Shutdown runs.
 // Each connection is handled on its own goroutine via ServeConn.
@@ -137,67 +153,91 @@ func (s *Server) ServeConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	// Handshake: refuse anything that is not a matching-version hello.
+	// Handshake, always in v1 JSON frames: refuse anything that is not
+	// a hello at the (never-changing) handshake framing version, then
+	// negotiate the chunk-path codec from the two Max fields. An old
+	// peer sends no Max and negotiates v1; both sides switch codecs
+	// only after the welcome, so any build handshakes with any other.
 	var f Frame
 	if err := ReadFrame(conn, &f); err != nil || f.Type != TypeHello {
 		s.mRefused.Inc()
 		return
 	}
-	if f.Version != ProtocolVersion {
+	if f.Version != ProtocolV1 {
 		s.mRefused.Inc()
 		WriteFrame(conn, &Frame{Type: TypeError,
-			Err: fmt.Sprintf("protocol version %d, want %d", f.Version, ProtocolVersion)})
+			Err: fmt.Sprintf("handshake version %d, want %d", f.Version, ProtocolV1)})
 		return
 	}
+	version := negotiate(f.Max, s.opts.MaxVersion)
 	if err := WriteFrame(conn, &Frame{
-		Type: TypeWelcome, Version: ProtocolVersion, Capacity: s.Capacity(),
+		Type: TypeWelcome, Version: ProtocolV1, Max: version, Capacity: s.Capacity(),
 	}); err != nil {
 		return
 	}
+	s.mProto.Set(int64(version))
+	if version >= ProtocolV2 {
+		s.mConnsV2.Inc()
+	} else {
+		s.mConnsV1.Inc()
+	}
 
+	// Session state, all reused across the connection's frames: the
+	// negotiated codec's scratch buffers, the response frame (its Hits
+	// buffer grows once to the model size), and the chunk executor's
+	// scratch aggregate — so a long-lived v2 connection executes chunks
+	// with zero allocations on the protocol path.
+	cdc := &codec{version: version}
+	var resp Frame
+	var scratch *coverage.Counts
 	for {
-		if err := ReadFrame(conn, &f); err != nil {
+		if err := cdc.read(conn, &f); err != nil {
 			return // peer gone, or Shutdown severed an idle connection
 		}
 		switch f.Type {
 		case TypePing:
-			if err := WriteFrame(conn, &Frame{Type: TypePong, ID: f.ID}); err != nil {
+			resp = Frame{Type: TypePong, ID: f.ID, Hits: resp.Hits[:0]}
+			if err := cdc.write(conn, &resp); err != nil {
 				return
 			}
 		case TypeChunk:
 			sc.busy.Store(true)
-			resp := s.execute(&f)
-			err := WriteFrame(conn, resp)
+			scratch = s.execute(&f, &resp, scratch, version)
+			err := cdc.write(conn, &resp)
 			sc.busy.Store(false)
 			if err != nil || s.draining.Load() {
 				return
 			}
 		default:
-			WriteFrame(conn, &Frame{Type: TypeError, Err: "farm: unexpected frame " + f.Type})
+			resp = Frame{Type: TypeError, Err: "farm: unexpected frame " + f.Type}
+			cdc.write(conn, &resp)
 			return
 		}
 	}
 }
 
 // execute runs one chunk request under the capacity semaphore and
-// builds its result frame. Failures (unknown unit, unparsable template,
-// bad range) are reported in-band so the dispatcher can fall back
-// locally without killing the connection.
-func (s *Server) execute(f *Frame) *Frame {
+// fills the caller's reusable result frame. Failures (unknown unit,
+// unparsable template, bad range, oversized model) are reported
+// in-band so the dispatcher can fall back locally without killing the
+// connection. The scratch aggregate is connection-local and returned
+// (possibly resized) for reuse by the next chunk.
+func (s *Server) execute(f *Frame, resp *Frame, scratch *coverage.Counts, version int) *coverage.Counts {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
 	sp := s.tracer.Span("farm", "serve_chunk")
 	start := time.Now()
-	resp := &Frame{Type: TypeResult, ID: f.ID}
-	hits, sims, err := s.runChunk(f)
+	*resp = Frame{Type: TypeResult, ID: f.ID, Hits: resp.Hits[:0]}
+	var err error
+	scratch, err = s.runChunk(f, scratch, version)
 	if err != nil {
 		s.mErrors.Inc()
 		resp.Err = err.Error()
 	} else {
 		s.mChunks.Inc()
-		resp.Hits, resp.Sims = hits, sims
-		s.hSims.Observe(sims)
+		resp.Hits, resp.Sims = scratch.AppendRaw(resp.Hits[:0])
+		s.hSims.Observe(resp.Sims)
 	}
 	s.hChunkNs.Observe(uint64(time.Since(start)))
 	if sp != nil {
@@ -206,26 +246,37 @@ func (s *Server) execute(f *Frame) *Frame {
 		sp.SetArg("ok", err == nil)
 		sp.End()
 	}
-	return resp
+	return scratch
 }
 
 // runChunk resolves the request's unit environment and re-executes the
-// chunk deterministically via sim.Env.RunChunk.
-func (s *Server) runChunk(f *Frame) ([]uint64, uint64, error) {
+// chunk deterministically via sim.Env.RunChunkInto, merging into the
+// connection's scratch aggregate (resized only when the model size
+// changes between requests).
+func (s *Server) runChunk(f *Frame, scratch *coverage.Counts, version int) (*coverage.Counts, error) {
 	env, err := s.env(f.Unit)
 	if err != nil {
-		return nil, 0, err
+		return scratch, err
+	}
+	events := env.Unit().Model().Size()
+	if err := CheckModelFits(events, version); err != nil {
+		// A model this large cannot travel in any result frame; tell
+		// the dispatcher in-band instead of failing on the write.
+		return scratch, err
 	}
 	tmpl, err := chunkTemplate(f)
 	if err != nil {
-		return nil, 0, err
+		return scratch, err
 	}
-	counts, err := env.RunChunk(tmpl, f.Seed, f.Lo, f.Hi)
-	if err != nil {
-		return nil, 0, err
+	if scratch == nil || scratch.Len() != events {
+		scratch = coverage.NewCounts(events)
+	} else {
+		scratch.Reset()
 	}
-	hits, sims := counts.Raw()
-	return hits, sims, nil
+	if err := env.RunChunkInto(tmpl, f.Seed, f.Lo, f.Hi, scratch); err != nil {
+		return scratch, err
+	}
+	return scratch, nil
 }
 
 // env returns the lazily created environment for a unit. Environments

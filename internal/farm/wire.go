@@ -13,11 +13,18 @@
 // any fleet size, under any failure pattern, and with remote execution
 // disabled entirely.
 //
-// The wire protocol is deliberately primitive — length-prefixed JSON
-// frames over a byte stream — so it needs nothing beyond the standard
-// library and stays debuggable with nc/tcpdump. Framing, not JSON, is
-// the load-bearing part: every frame is one 4-byte big-endian length
-// followed by exactly that many bytes of payload, bounded by MaxFrame.
+// The wire protocol has two codecs behind one framing. Every frame is
+// one 4-byte big-endian length followed by exactly that many bytes of
+// payload, bounded by MaxFrame — framing is the load-bearing part. The
+// handshake (hello/welcome) is always v1: length-prefixed JSON, so it
+// needs nothing beyond the standard library, stays debuggable with
+// nc/tcpdump, and any build can negotiate with any other. The hello
+// advertises the client's highest supported protocol version (Max) and
+// the welcome answers with the negotiated one; when both ends support
+// v2 the rest of the session switches to the compact binary codec
+// (wire_v2.go) — no reflection, no encoding/json, dense varint hit
+// arrays — and otherwise it stays on v1 JSON frames, so mixed fleets
+// keep working.
 package farm
 
 import (
@@ -31,10 +38,52 @@ import (
 	"repro/internal/template"
 )
 
-// ProtocolVersion is negotiated in the hello/welcome handshake; a
-// server refuses clients speaking any other version. Bump on any frame
-// layout or semantics change.
-const ProtocolVersion = 1
+// Protocol versions. The handshake itself is always spoken in v1 JSON
+// frames with Version == ProtocolV1 — that field is the *handshake
+// framing* version, which never changes — while the Max field carries
+// the highest chunk-path codec the peer supports. The server answers
+// with the negotiated version (min of both maxima) and both ends
+// switch codecs after the welcome.
+const (
+	// ProtocolV1 is the original codec: length-prefixed JSON frames.
+	ProtocolV1 = 1
+	// ProtocolV2 is the compact binary codec: fixed header +
+	// varint/fixed fields, dense varint-packed hit-count arrays, pooled
+	// encode/decode buffers (see wire_v2.go).
+	ProtocolV2 = 2
+	// ProtocolVersion is the highest protocol version this build
+	// speaks. Bump on any frame layout or semantics change.
+	ProtocolVersion = ProtocolV2
+)
+
+// negotiate picks the chunk-path codec for a session from the two
+// peers' highest supported versions (0 means "field absent": a build
+// that predates negotiation, which speaks exactly v1).
+func negotiate(clientMax, serverMax int) int {
+	if clientMax < ProtocolV1 {
+		clientMax = ProtocolV1
+	}
+	if serverMax < ProtocolV1 {
+		serverMax = ProtocolV1
+	}
+	if clientMax < serverMax {
+		return clientMax
+	}
+	return serverMax
+}
+
+// clampMaxVersion normalizes a user-supplied protocol bound: 0 (or
+// anything above ProtocolVersion) means "highest supported", anything
+// below v1 is v1.
+func clampMaxVersion(v int) int {
+	if v <= 0 || v > ProtocolVersion {
+		return ProtocolVersion
+	}
+	if v < ProtocolV1 {
+		return ProtocolV1
+	}
+	return v
+}
 
 // MaxFrame bounds a frame's JSON payload. Chunk requests carry one
 // template source (a few KiB) and results carry one hit-count slice
@@ -65,6 +114,57 @@ var (
 	ErrVersionMismatch = errors.New("farm: protocol version mismatch")
 )
 
+// ModelTooLargeError reports a coverage model whose dense per-event
+// hit-count array cannot fit a legal frame: the dispatcher refuses the
+// chunk before sending rather than shipping a request whose reply
+// would be unreadable, and a server refuses in-band for the same
+// reason. It is a typed error (not a bare ErrFrameTooLarge) so callers
+// can distinguish "this model can never work at this protocol version"
+// from a transient garbage frame.
+type ModelTooLargeError struct {
+	// Events is the model's event count; MaxEvents is the largest
+	// count whose worst-case result payload fits MaxFrame at Version.
+	Events, MaxEvents, Version int
+}
+
+func (e *ModelTooLargeError) Error() string {
+	return fmt.Sprintf("farm: coverage model with %d events exceeds protocol v%d frame capacity (max %d events per %d-byte frame)",
+		e.Events, e.Version, e.MaxEvents, MaxFrame)
+}
+
+// maxVarint64 is the worst-case encoded size of one uvarint field.
+const maxVarint64 = 10 // binary.MaxVarintLen64
+
+// v2ResultOverhead bounds every non-hits byte of a v2 result frame:
+// type byte + fixed seed + a dozen worst-case varint fields. Kept
+// deliberately generous; it only has to be an upper bound.
+const v2ResultOverhead = 160
+
+// MaxEventsV2 is the largest coverage-model size whose worst-case v2
+// result frame (every hit count varint-maximal) still fits MaxFrame.
+func MaxEventsV2() int {
+	return (MaxFrame - v2ResultOverhead) / maxVarint64
+}
+
+// CheckModelFits reports whether a model of the given event count can
+// travel in result frames at the negotiated protocol version, computed
+// from MaxFrame — the size check the dispatcher runs before shipping a
+// chunk. v1's JSON encoding is bounded by the same worst case (a
+// 20-digit decimal count + separator per event stays under the 10-byte
+// varint bound only asymptotically, so v1 uses its own divisor).
+func CheckModelFits(events, version int) error {
+	max := MaxEventsV2()
+	if version < ProtocolV2 {
+		// Worst-case JSON: 20 digits + comma per count, plus slack for
+		// the envelope.
+		max = (MaxFrame - 1024) / 21
+	}
+	if events > max {
+		return &ModelTooLargeError{Events: events, MaxEvents: max, Version: version}
+	}
+	return nil
+}
+
 // Frame is the single wire message shape; Type selects which fields are
 // meaningful. A flat struct (rather than per-type messages) keeps the
 // codec one Marshal/Unmarshal pair and lets readers skip frames they
@@ -73,6 +173,13 @@ var (
 type Frame struct {
 	Type    string `json:"t"`
 	Version int    `json:"v,omitempty"`
+
+	// Max is the version-negotiation field: on hello, the highest
+	// chunk-path protocol the client supports; on welcome, the version
+	// the server selected for the session. Absent (0) means v1 — a
+	// build that predates negotiation — so old and new builds always
+	// agree on a codec.
+	Max int `json:"max,omitempty"`
 
 	// Welcome: how many chunks the worker executes concurrently.
 	Capacity int `json:"cap,omitempty"`
@@ -146,19 +253,28 @@ func ReadFrame(r io.Reader, f *Frame) error {
 // exactly, and the server's plan cache is content-keyed, so re-parsing
 // per request costs one parse, not one compile.
 func chunkFrame(id uint64, c sim.RemoteChunk) *Frame {
-	f := &Frame{
+	f := &Frame{}
+	fillChunkFrame(f, id, c)
+	return f
+}
+
+// fillChunkFrame is chunkFrame into a caller-owned frame: the frame's
+// Hits capacity survives the reset, so a connection's reusable frame
+// keeps its decode buffer across requests.
+func fillChunkFrame(f *Frame, id uint64, c sim.RemoteChunk) {
+	*f = Frame{
 		Type: TypeChunk,
 		ID:   id,
 		Unit: c.Unit,
 		Seed: c.Seed,
 		Lo:   c.Lo,
 		Hi:   c.Hi,
+		Hits: f.Hits[:0],
 	}
 	if c.Template != nil {
 		f.Template = c.Template.String()
 		f.HasTemplate = true
 	}
-	return f
 }
 
 // chunkTemplate recovers the request's template; nil with HasTemplate

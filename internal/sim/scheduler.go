@@ -89,6 +89,16 @@ type ChunkRunner interface {
 	RunChunk(c RemoteChunk) (*coverage.Counts, error)
 }
 
+// ChunkRunnerInto is the allocation-free refinement of ChunkRunner:
+// the chunk's aggregate is merged into a caller-owned dst (sized to
+// c.Events) instead of being returned in a fresh Counts. Remote lanes
+// probe for it and keep one scratch aggregate per lane, so a healthy
+// farm path allocates nothing per chunk. On error dst must be left
+// untouched; the lane then falls back to local execution as usual.
+type ChunkRunnerInto interface {
+	RunChunkInto(c RemoteChunk, dst *coverage.Counts) error
+}
+
 // Scheduler is a persistent worker pool for batch simulation. Workers
 // are started once (lazily, on the first job) and live until Close;
 // every job, from any goroutine, is sharded into chunks and streamed
@@ -218,17 +228,31 @@ func (o *schedObs) countEnqueue() {
 	}
 }
 
-// work is one worker's loop: simulate a chunk into a private aggregate,
-// merge it into the job, and complete the job when its last chunk lands.
-// Counts merging is commutative, so completion order does not affect the
-// result.
+// scratchFor returns a lane-local scratch aggregate for an n-event
+// chunk: the previous scratch reset in place when the size still
+// matches, a fresh one otherwise. Jobs against one model share a size,
+// so steady state allocates nothing.
+func scratchFor(scratch *coverage.Counts, n int) *coverage.Counts {
+	if scratch == nil || scratch.Len() != n {
+		return coverage.NewCounts(n)
+	}
+	scratch.Reset()
+	return scratch
+}
+
+// work is one worker's loop: simulate a chunk into the worker's scratch
+// aggregate, merge it into the job, and complete the job when its last
+// chunk lands. Counts merging is commutative, so completion order does
+// not affect the result; the scratch is private to the worker and reset
+// per chunk, so the loop allocates nothing in steady state.
 func (s *Scheduler) work(id int) {
+	var scratch *coverage.Counts
 	for t := range s.tasks {
 		o := s.obs
 		if t.job.canceled() {
 			// Cancellation: the chunk still lands (so Wait returns and the
 			// job drains) but contributes nothing — no simulation runs.
-			completed := s.complete(t, coverage.NewCounts(t.job.total.Len()))
+			completed := s.complete(t, nil)
 			if o != nil {
 				o.queue.Add(-1)
 				o.aborted.Inc()
@@ -238,14 +262,17 @@ func (s *Scheduler) work(id int) {
 			}
 			continue
 		}
+		scratch = scratchFor(scratch, t.job.total.Len())
 		if o == nil {
-			s.complete(t, s.simulateChunk(t))
+			s.simulateChunkInto(t, scratch)
+			s.complete(t, scratch)
 			continue
 		}
 		o.queue.Add(-1)
 		sp := o.tracer.Span("sim", "chunk").WithTid(100 + id)
 		start := time.Now()
-		completed := s.complete(t, s.simulateChunk(t))
+		s.simulateChunkInto(t, scratch)
+		completed := s.complete(t, scratch)
 		dur := time.Since(start)
 		n := uint64(t.hi - t.lo)
 		if sp != nil {
@@ -268,12 +295,16 @@ func (s *Scheduler) work(id int) {
 // merge its aggregate, re-executing locally if the runner fails or
 // returns a malformed result. Either way the chunk lands exactly once,
 // so aggregates can never double-count — the core of the farm's
-// fault-tolerance contract.
+// fault-tolerance contract. Runners that implement ChunkRunnerInto
+// merge straight into the lane's scratch aggregate, so the healthy
+// remote path allocates nothing per chunk.
 func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
+	rInto, _ := r.(ChunkRunnerInto)
+	var scratch *coverage.Counts
 	for t := range s.tasks {
 		o := s.obs
 		if t.job.canceled() {
-			completed := s.complete(t, coverage.NewCounts(t.job.total.Len()))
+			completed := s.complete(t, nil)
 			if o != nil {
 				o.queue.Add(-1)
 				o.aborted.Inc()
@@ -291,16 +322,29 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 			sp = o.tracer.Span("sim", "chunk_remote").WithTid(300 + lane)
 			start = time.Now()
 		}
-		counts, err := r.RunChunk(RemoteChunk{
+		events := t.job.total.Len()
+		rc := RemoteChunk{
 			Unit:     t.job.unitName,
 			Template: t.job.tmpl,
 			Seed:     t.job.seedState,
 			Lo:       t.lo,
 			Hi:       t.hi,
-			Events:   t.job.total.Len(),
-		})
-		remote := err == nil && counts != nil &&
-			counts.Len() == t.job.total.Len() && counts.Sims() == n
+			Events:   events,
+		}
+		scratch = scratchFor(scratch, events)
+		remote := false
+		if rInto != nil {
+			if err := rInto.RunChunkInto(rc, scratch); err == nil &&
+				scratch.Len() == events && scratch.Sims() == n {
+				remote = true
+			} else {
+				scratch.Reset() // discard any partial merge before fallback
+			}
+		} else if counts, err := r.RunChunk(rc); err == nil && counts != nil &&
+			counts.Len() == events && counts.Sims() == n {
+			scratch.Merge(counts)
+			remote = true
+		}
 		if !remote {
 			// Remote execution failed (worker down, timeout, bad frame):
 			// the chunk must still land exactly once, so run it here —
@@ -312,12 +356,11 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 				if o != nil {
 					o.aborted.Inc()
 				}
-				counts = coverage.NewCounts(t.job.total.Len())
 			} else {
-				counts = s.simulateChunk(t)
+				s.simulateChunkInto(t, scratch)
 			}
 		}
-		completed := s.complete(t, counts)
+		completed := s.complete(t, scratch)
 		if o == nil {
 			continue
 		}
@@ -343,23 +386,23 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 	}
 }
 
-// simulateChunk runs one chunk locally into a private aggregate. This is
-// the simulate hot path: it takes no locks and touches no observability
-// state.
-func (s *Scheduler) simulateChunk(t chunk) *coverage.Counts {
+// simulateChunkInto runs one chunk locally, merging into the caller's
+// scratch aggregate. This is the simulate hot path: it takes no locks,
+// touches no observability state, and allocates nothing itself.
+func (s *Scheduler) simulateChunkInto(t chunk, dst *coverage.Counts) {
 	j := t.job
-	local := coverage.NewCounts(j.total.Len())
 	for i := t.lo; i < t.hi; i++ {
 		g := generator.NewFromPlan(j.plan, j.seed.SplitIndex(uint64(i)).Uint64())
-		local.Add(j.unit.Simulate(g))
+		dst.Add(j.unit.Simulate(g))
 	}
-	return local
 }
 
 // complete merges one chunk's aggregate into its job — exactly once per
 // chunk, whoever computed it — and reports whether it was the job's last
-// chunk. Counts merging is commutative, so completion order does not
-// affect the result.
+// chunk (nil counts means the chunk contributes nothing: cancellation).
+// Counts merging is commutative, so completion order does not affect
+// the result, and merging copies, so callers may reuse counts as their
+// scratch for the next chunk.
 func (s *Scheduler) complete(t chunk, counts *coverage.Counts) bool {
 	j := t.job
 	j.mu.Lock()

@@ -262,24 +262,38 @@ func (e *Env) Run(tmpl *template.Template, n int) (*coverage.Counts, error) {
 // environment, whichever process runs it — this is the farm worker's
 // entry point. The environment's own batch counter is not consumed.
 func (e *Env) RunChunk(tmpl *template.Template, seedState uint64, lo, hi int) (*coverage.Counts, error) {
+	c := coverage.NewCountsFor(e.unit.Model())
+	if err := e.RunChunkInto(tmpl, seedState, lo, hi, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RunChunkInto is RunChunk merging into a caller-owned aggregate —
+// the allocation-free variant for callers that reuse a scratch Counts
+// across chunks (the farm server's per-connection scratch, benches).
+// dst must be sized to the unit's model; it is added to, not reset.
+func (e *Env) RunChunkInto(tmpl *template.Template, seedState uint64, lo, hi int, dst *coverage.Counts) error {
 	if e.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if lo < 0 || hi < lo {
-		return nil, fmt.Errorf("sim: bad chunk range [%d, %d)", lo, hi)
+		return fmt.Errorf("sim: bad chunk range [%d, %d)", lo, hi)
+	}
+	if dst.Len() != e.unit.Model().Size() {
+		return fmt.Errorf("sim: chunk aggregate tracks %d events, model has %d", dst.Len(), e.unit.Model().Size())
 	}
 	plan := e.plan(tmpl)
 	seed := rng.New(seedState)
-	c := coverage.NewCountsFor(e.unit.Model())
 	for i := lo; i < hi; i++ {
 		g := generator.NewFromPlan(plan, seed.SplitIndex(uint64(i)).Uint64())
-		c.Add(e.unit.Simulate(g))
+		dst.Add(e.unit.Simulate(g))
 	}
 	if n := hi - lo; n > 0 {
 		e.sims.Add(uint64(n))
 		e.mInstances.Add(uint64(n))
 	}
-	return c, nil
+	return nil
 }
 
 // RunEach simulates n instances of every template and returns one
