@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/duv"
@@ -69,8 +70,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream JSONL progress events (phases, optimizer iterations) to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("ascdg"))
+		return 0
 	}
 	if *unitName == "" {
 		fmt.Fprintln(stderr, "ascdg: -unit is required")

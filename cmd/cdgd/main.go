@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	_ "repro/internal/duv/ifu"
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
@@ -61,12 +62,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the daemon's lifetime to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream the service's own JSONL events (submissions, campaign starts/ends) to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr at exit")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address while running")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics, /debug/pprof and the ops endpoints (/metrics, /healthz, /readyz) on this address while running")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("cdgd"))
+		return 0
+	}
 	if *dataDir == "" {
 		fmt.Fprintln(stderr, "cdgd: -data is required")
+		return 2
+	}
+
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
 		return 2
 	}
 
@@ -74,11 +88,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		progressW = stderr
 	}
+	health := obs.NewHealth()
 	sess, err := obs.StartSession(obs.Config{
 		TracePath:   *trace,
 		ProgressW:   progressW,
 		MetricsDump: *metrics,
 		DebugAddr:   *debugAddr,
+		Health:      health,
 	}, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "cdgd: %v\n", err)
@@ -97,9 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RetryAfter: *retryAfter,
 		Workers:    *workers,
 		Rec:        sess.Recorder(),
+		Log:        logger,
 	}
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto})
+		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto, Log: logger})
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(stderr, "cdgd: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)
@@ -112,6 +129,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cdgd: %v\n", err)
 		return 1
 	}
+	// The debug listener's /readyz mirrors the API mux's: not ready once
+	// the service drains, the queue saturates, or the data root breaks.
+	health.Set("service", svc.Ready)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

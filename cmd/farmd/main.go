@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	_ "repro/internal/duv/ifu"
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
@@ -48,8 +49,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address while running")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics, /debug/pprof and the ops endpoints (/metrics, /healthz, /readyz) on this address while running")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("farmd"))
+		return 0
+	}
+
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(stderr, "farmd: %v\n", err)
 		return 2
 	}
 
@@ -57,11 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		progressW = stderr
 	}
+	health := obs.NewHealth()
 	sess, err := obs.StartSession(obs.Config{
 		TracePath:   *trace,
 		ProgressW:   progressW,
 		MetricsDump: *metrics,
 		DebugAddr:   *debugAddr,
+		Health:      health,
 	}, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "farmd: %v\n", err)
@@ -84,9 +100,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:  *drain,
 		MaxVersion:    *proto,
 		Rec:           sess.Recorder(),
+		Log:           logger,
 	})
-	fmt.Fprintf(stdout, "farmd: listening on %s (capacity %d, protocol <= v%d)\n",
-		ln.Addr(), srv.Capacity(), srv.MaxVersion())
+	// /readyz fails once the drain begins, so orchestrators stop routing
+	// new sessions at a worker that is on its way out.
+	health.Set("sessions", srv.Ready)
+	fmt.Fprintf(stdout, "farmd: listening on %s (capacity %d, protocol <= v%d, %s)\n",
+		ln.Addr(), srv.Capacity(), srv.MaxVersion(), buildinfo.Read().Short())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

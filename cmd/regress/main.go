@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	_ "repro/internal/duv/ifu"
@@ -57,8 +58,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("regress"))
+		return 0
 	}
 	if *unitName == "" {
 		fmt.Fprintln(stderr, "regress: -unit is required")

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/figures"
@@ -47,7 +48,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
 	journalDir := flag.String("journal", "", "checkpoint each figure's flow into <dir>/figN.journal (crash-safe)")
 	resume := flag.Bool("resume", false, "recover the journals in the -journal directory and re-enter the interrupted run")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("repro"))
+		return
+	}
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "repro: -resume requires -journal")
 		os.Exit(2)

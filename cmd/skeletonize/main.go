@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/skeleton"
 	"repro/internal/template"
@@ -36,8 +37,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("skeletonize"))
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: skeletonize [flags] <template-file>")

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	_ "repro/internal/duv/ifu"
@@ -60,8 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream JSONL progress events to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("tacquery"))
+		return 0
 	}
 	if *unitName == "" {
 		fmt.Fprintln(stderr, "tacquery: -unit is required")

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTracemergeEndToEnd writes two per-process traces (one bare array,
+// one traceEvents-object form), merges them via the CLI, and checks the
+// output is a valid timeline with one named lane per input.
+func TestTracemergeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	disp := filepath.Join(dir, "cdgd.trace")
+	work := filepath.Join(dir, "farmd-a.trace")
+	if err := os.WriteFile(disp, []byte(
+		`[{"name":"rpc","cat":"farm","ph":"X","ts":1,"dur":5,"pid":1,"tid":1,"args":{"chunk":7,"campaign":"c1"}}]`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(work, []byte(
+		`{"traceEvents":[{"name":"serve_chunk","cat":"farm","ph":"X","ts":2,"dur":3,"pid":1,"tid":1,"args":{"chunk":7,"campaign":"c1"}}]}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", merged, disp, work}, &stdout, &stderr); code != 0 {
+		t.Fatalf("tracemerge exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "4 events from 2 traces") {
+		t.Fatalf("summary = %q", stdout.String())
+	}
+
+	data, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("merged output is not a valid trace: %v", err)
+	}
+	lanes := map[int]string{}
+	spans := map[int]string{}
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Pid], _ = ev.Args["name"].(string)
+		} else {
+			spans[ev.Pid] = ev.Name
+		}
+	}
+	if lanes[1] != "cdgd.trace" || lanes[2] != "farmd-a.trace" {
+		t.Fatalf("lane names = %v", lanes)
+	}
+	if spans[1] != "rpc" || spans[2] != "serve_chunk" {
+		t.Fatalf("spans landed on wrong lanes: %v", spans)
+	}
+}
+
+func TestTracemergeErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit = %d", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.trace")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing-file exit = %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad-trace exit = %d", code)
+	}
+}
+
+func TestTracemergeVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit = %d", code)
+	}
+	if !strings.Contains(stdout.String(), "tracemerge") {
+		t.Fatalf("-version output = %q", stdout.String())
+	}
+}

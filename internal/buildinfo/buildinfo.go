@@ -1,0 +1,97 @@
+// Package buildinfo exposes the binary's build identity — module
+// version, VCS revision, and toolchain — read once from the build info
+// embedded by the go tool. Every CLI's -version flag and the farmd
+// handshake banner print it, and the OpenMetrics exposition emits it as
+// the standard build_info gauge, so an operator can always tell which
+// build a fleet node is running.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary. Fields are "unknown"
+// (never empty) when the binary was built without the corresponding
+// metadata (e.g. `go test` binaries have no VCS stamp).
+type Info struct {
+	// Version is the main module's version ("(devel)" for plain builds).
+	Version string
+	// Revision is the VCS commit hash, suffixed with "+dirty" when the
+	// working tree was modified.
+	Revision string
+	// Time is the VCS commit timestamp (RFC 3339) when stamped.
+	Time string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Read returns the build identity, computed once per process.
+func Read() Info {
+	once.Do(func() { cached = read() })
+	return cached
+}
+
+func read() Info {
+	info := Info{
+		Version:   "unknown",
+		Revision:  "unknown",
+		Time:      "unknown",
+		GoVersion: runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && info.Revision != "unknown" {
+		info.Revision += "+dirty"
+	}
+	return info
+}
+
+// Short is the one-token form used in banners: the module version, or
+// the first 12 characters of the revision when the version is a
+// placeholder.
+func (i Info) Short() string {
+	if i.Version != "unknown" && i.Version != "(devel)" {
+		return i.Version
+	}
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "unknown" {
+		return i.Version
+	}
+	return rev
+}
+
+// String renders the full multi-field identity for -version output:
+//
+//	ascdg version (devel) (revision abc123def456, built 2026-08-07T00:00:00Z, go1.22.1)
+func String(prog string) string {
+	i := Read()
+	return fmt.Sprintf("%s version %s (revision %s, built %s, %s)",
+		prog, i.Version, i.Revision, i.Time, i.GoVersion)
+}

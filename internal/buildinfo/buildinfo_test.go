@@ -1,0 +1,55 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	i := Read()
+	for name, v := range map[string]string{
+		"Version":   i.Version,
+		"Revision":  i.Revision,
+		"Time":      i.Time,
+		"GoVersion": i.GoVersion,
+	} {
+		if v == "" {
+			t.Errorf("%s is empty; want a value or the \"unknown\" placeholder", name)
+		}
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", i.GoVersion)
+	}
+}
+
+func TestReadCached(t *testing.T) {
+	if Read() != Read() {
+		t.Fatal("Read is not stable across calls")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String("ascdg")
+	for _, want := range []string{"ascdg version ", "revision ", "go"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestShortNeverEmpty(t *testing.T) {
+	if Read().Short() == "" {
+		t.Fatal("Short() is empty")
+	}
+}
+
+func TestDirtySuffix(t *testing.T) {
+	i := Info{Version: "(devel)", Revision: "abcdef0123456789abcdef", Time: "t", GoVersion: "go1.22"}
+	if got := i.Short(); got != "abcdef012345" {
+		t.Fatalf("Short() = %q, want the 12-char revision prefix", got)
+	}
+	tagged := Info{Version: "v1.2.3", Revision: "abc"}
+	if got := tagged.Short(); got != "v1.2.3" {
+		t.Fatalf("Short() = %q, want the tagged version", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/coverage"
 	"repro/internal/duv"
@@ -112,6 +113,11 @@ type Config struct {
 	// result-relevant config). The flow owns the journal and closes it
 	// with Close.
 	Journal string
+
+	// Log, when non-nil, receives structured journal lifecycle events
+	// (resume, torn-tail truncation). Like Obs, it is throughput-only:
+	// excluded from the journal's config hash, never result-relevant.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {

@@ -145,7 +145,7 @@ func (f *Flow) startJournal(path string) error {
 // live, appending to the same journal. The journal's header must match
 // this flow's unit, seed, coverage model, and result-relevant config.
 func (f *Flow) resumeJournal(path string) error {
-	recs, w, err := journal.Recover(path, f.rec)
+	recs, w, err := journal.Recover(path, f.rec, f.cfg.Log)
 	if err != nil {
 		return err
 	}

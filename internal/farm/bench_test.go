@@ -63,6 +63,7 @@ func BenchmarkWireCodec(b *testing.B) {
 	f := benchResultFrame(256)
 	b.Run("v1", benchCodecRoundTrip(ProtocolV1, f))
 	b.Run("v2", benchCodecRoundTrip(ProtocolV2, f))
+	b.Run("v3", benchCodecRoundTrip(ProtocolV3, f))
 }
 
 // benchFleet wires the standard two-worker loopback fleet at a
@@ -94,7 +95,7 @@ func BenchmarkFarmChunkPath(b *testing.B) {
 	for _, pv := range []struct {
 		name string
 		max  int
-	}{{"v1", 1}, {"v2", 0}} {
+	}{{"v1", 1}, {"v2", 2}, {"v3", 0}} {
 		b.Run(pv.name, func(b *testing.B) {
 			d := benchFleet(b, pv.max)
 			chunk := sim.RemoteChunk{
@@ -134,16 +135,16 @@ type codecBenchRecord struct {
 // same machine's local throughput, so a slower runner does not read as
 // a protocol regression).
 type benchRecord struct {
-	Date            string            `json:"date"`
-	GoOS            string            `json:"goos"`
-	GoArch          string            `json:"goarch"`
-	MaxProcs        int               `json:"maxprocs"`
-	Benchstat       []string          `json:"benchstat"`
-	CodecV1         codecBenchRecord  `json:"codec_v1"`
-	CodecV2         codecBenchRecord  `json:"codec_v2"`
-	LocalSimsPerSec float64           `json:"local_sims_per_sec"`
-	FarmSimsPerSec  float64           `json:"farm_sims_per_sec"`
-	FarmLocalRatio  float64           `json:"farm_local_ratio"`
+	Date            string           `json:"date"`
+	GoOS            string           `json:"goos"`
+	GoArch          string           `json:"goarch"`
+	MaxProcs        int              `json:"maxprocs"`
+	Benchstat       []string         `json:"benchstat"`
+	CodecV1         codecBenchRecord `json:"codec_v1"`
+	CodecV2         codecBenchRecord `json:"codec_v2"`
+	LocalSimsPerSec float64          `json:"local_sims_per_sec"`
+	FarmSimsPerSec  float64          `json:"farm_sims_per_sec"`
+	FarmLocalRatio  float64          `json:"farm_local_ratio"`
 }
 
 func mbPerSec(r testing.BenchmarkResult, logicalBytes int) float64 {

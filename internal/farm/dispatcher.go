@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/coverage"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -62,6 +64,9 @@ type Options struct {
 	// Rec receives dispatcher metrics and per-worker trace lanes (nil
 	// disables).
 	Rec *obs.Recorder
+	// Log receives structured connection-lifecycle and failure events
+	// with correlated fields (worker, proto, chunk). nil discards.
+	Log *slog.Logger
 	// Context, when non-nil, cancels queued remote work: RunChunk stops
 	// retrying, acquiring, and backing off the moment it is done, and
 	// new calls fail immediately with its error. In-flight exchanges
@@ -125,6 +130,9 @@ type Dispatcher struct {
 	ready    chan struct{} // closed on the first successful handshake
 	readyOne sync.Once
 
+	log     *slog.Logger
+	metrics *obs.Registry // labeled per-connection gauges (nil-safe)
+
 	// Metric handles (all nil-safe).
 	mDials     *obs.Counter
 	mDialFails *obs.Counter
@@ -175,6 +183,10 @@ type wconn struct {
 	// exchange path allocation-free under v2.
 	cdc codec
 	rf  Frame
+
+	// gauge is the connection's labeled farm.conns{peer,proto} gauge,
+	// incremented on handshake and decremented on eviction (nil-safe).
+	gauge *obs.Gauge
 }
 
 // New starts a dispatcher for the given worker addresses. It returns
@@ -191,7 +203,9 @@ func New(addrs []string, opts Options) *Dispatcher {
 		closed: make(chan struct{}),
 		ready:  make(chan struct{}),
 	}
+	d.log = obs.OrNop(opts.Log)
 	if rec := opts.Rec; rec != nil {
+		d.metrics = rec.Metrics
 		d.mDials = rec.Counter("farm.dials")
 		d.mDialFails = rec.Counter("farm.dial_failures")
 		d.mChunks = rec.Counter("farm.chunks")
@@ -324,6 +338,11 @@ func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts)
 		sp = sp.WithTid(200 + w.addrIdx)
 		sp.SetArg("worker", w.addr)
 		sp.SetArg("instances", c.Hi-c.Lo)
+		sp.SetArg("chunk", c.Chunk)
+		sp.SetArg("batch", c.Batch)
+		if c.Campaign != "" {
+			sp.SetArg("campaign", c.Campaign)
+		}
 	}
 	start := time.Now()
 	err := d.exchange1(w, c, dst)
@@ -331,6 +350,11 @@ func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts)
 	if sp != nil {
 		sp.SetArg("ok", err == nil)
 		sp.End()
+	}
+	if err != nil {
+		d.log.Debug("farm: chunk exchange failed",
+			"worker", w.addr, "proto", w.cdc.version,
+			"campaign", c.Campaign, "batch", c.Batch, "chunk", c.Chunk, "err", err)
 	}
 	return err
 }
@@ -410,6 +434,8 @@ func (d *Dispatcher) kill(w *wconn) {
 		return
 	}
 	d.mEvicts.Inc()
+	w.gauge.Add(-1)
+	d.log.Debug("farm: connection evicted", "worker", w.addr, "proto", w.cdc.version)
 	w.conn.Close()
 	close(w.broken)
 }
@@ -433,6 +459,7 @@ func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Onc
 		if err != nil {
 			d.mDialFails.Inc()
 			fails++
+			d.log.Debug("farm: dial failed", "worker", addr, "slot", slot, "fails", fails, "err", err)
 			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, fails-1))
 			continue
 		}
@@ -478,7 +505,9 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 		return nil, 0, err
 	}
 	conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
-	if err := WriteFrame(conn, &Frame{Type: TypeHello, Version: ProtocolV1, Max: d.opts.MaxVersion}); err != nil {
+	hello := &Frame{Type: TypeHello, Version: ProtocolV1, Max: d.opts.MaxVersion,
+		Build: buildinfo.Read().Short()}
+	if err := WriteFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, 0, err
 	}
@@ -515,12 +544,23 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 	if capacity < 1 {
 		capacity = 1
 	}
+	// The labeled per-connection gauge: one series per (worker address,
+	// negotiated version), so /metrics shows exactly which peers speak
+	// which protocol. Worker addresses come from configuration, so the
+	// label cardinality is bounded.
+	gauge := d.metrics.GaugeWith("farm.conns",
+		obs.Labels("peer", addr, "proto", fmt.Sprintf("v%d", version)))
+	gauge.Add(1)
+	d.log.Info("farm: connection established",
+		"worker", addr, "remote", conn.RemoteAddr().String(),
+		"proto", version, "capacity", f.Capacity, "build", f.Build)
 	return &wconn{
 		conn:    conn,
 		addr:    addr,
 		addrIdx: addrIdx,
 		broken:  make(chan struct{}),
 		cdc:     codec{version: version},
+		gauge:   gauge,
 	}, capacity, nil
 }
 

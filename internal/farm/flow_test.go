@@ -104,26 +104,35 @@ func TestFlowReportBitIdenticalWithFarm(t *testing.T) {
 	}
 }
 
-// TestFlowReportBitIdenticalAcrossProtocols is the protocol-v2
+// TestFlowReportBitIdenticalAcrossProtocols is the protocol-negotiation
 // acceptance criterion at system level: the full flow's report must be
-// bit-identical whether the fleet speaks v1 only, v2 only, or a mix of
-// both — under fault injection — so a rolling fleet upgrade can never
+// bit-identical whether the fleet speaks v1 only, v2 only, the current
+// v3 (with its trace-correlation trailer), or any mix of old and new
+// peers — under fault injection — so a rolling fleet upgrade can never
 // change a published number.
 func TestFlowReportBitIdenticalAcrossProtocols(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full flow x3; skipped in -short")
+		t.Skip("full flow x5; skipped in -short")
 	}
 	faults := []Faults{
 		{DropAfterFrames: 10, Delay: time.Millisecond},
 		{DuplicateEvery: 2, FailDials: 2},
 	}
 	v1Only := runFlowV(t, faults, nil, 1)
-	v2Only := runFlowV(t, faults, nil, 0)
-	mixed := runFlowV(t, faults, []int{1, 0}, 0)
+	v2Only := runFlowV(t, faults, nil, 2)
+	v3Only := runFlowV(t, faults, nil, 0)
+	mixedOldNew := runFlowV(t, faults, []int{1, 0}, 0) // one v1-capped, one current worker
+	mixedV2V3 := runFlowV(t, faults, []int{2, 0}, 0)   // one v2-capped (pre-trailer), one current
 	if !reflect.DeepEqual(v1Only, v2Only) {
 		t.Fatalf("v2 fleet diverged from v1 fleet:\n%+v\nvs\n%+v", v2Only, v1Only)
 	}
-	if !reflect.DeepEqual(v1Only, mixed) {
-		t.Fatalf("mixed fleet diverged:\n%+v\nvs\n%+v", mixed, v1Only)
+	if !reflect.DeepEqual(v1Only, v3Only) {
+		t.Fatalf("v3 fleet diverged from v1 fleet:\n%+v\nvs\n%+v", v3Only, v1Only)
+	}
+	if !reflect.DeepEqual(v1Only, mixedOldNew) {
+		t.Fatalf("mixed v1/v3 fleet diverged:\n%+v\nvs\n%+v", mixedOldNew, v1Only)
+	}
+	if !reflect.DeepEqual(v1Only, mixedV2V3) {
+		t.Fatalf("mixed v2/v3 fleet diverged:\n%+v\nvs\n%+v", mixedV2V3, v1Only)
 	}
 }

@@ -1,13 +1,16 @@
 package farm
 
 import (
+	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/coverage"
 	"repro/internal/duv"
 	"repro/internal/obs"
@@ -36,6 +39,9 @@ type ServerOptions struct {
 	MaxVersion int
 	// Rec receives the worker's metrics and traces (nil disables).
 	Rec *obs.Recorder
+	// Log receives structured session-lifecycle events with correlated
+	// fields (peer, proto, chunk). nil discards.
+	Log *slog.Logger
 }
 
 // Server executes chunk requests for any registered DUV. One Server
@@ -53,6 +59,9 @@ type Server struct {
 
 	draining atomic.Bool
 	done     chan struct{} // closed when Shutdown begins
+
+	log     *slog.Logger
+	metrics *obs.Registry // labeled per-connection gauges (nil-safe)
 
 	// Metric handles (all nil-safe).
 	mConns   *obs.Gauge
@@ -91,7 +100,9 @@ func NewServer(opts ServerOptions) *Server {
 		conns: map[*serverConn]struct{}{},
 		done:  make(chan struct{}),
 	}
+	s.log = obs.OrNop(opts.Log)
 	if rec := opts.Rec; rec != nil {
+		s.metrics = rec.Metrics
 		s.mConns = rec.Gauge("farm.server.conns")
 		s.mChunks = rec.Counter("farm.server.chunks")
 		s.mErrors = rec.Counter("farm.server.chunk_errors")
@@ -112,6 +123,19 @@ func (s *Server) Capacity() int { return cap(s.sem) }
 // MaxVersion reports the highest protocol version the worker offers in
 // its welcome frames.
 func (s *Server) MaxVersion() int { return s.opts.MaxVersion }
+
+// errDraining is Ready's failure once Shutdown has begun.
+var errDraining = errors.New("farm: worker is draining")
+
+// Ready is the worker's readiness check for /readyz: nil while the
+// worker accepts sessions, errDraining once Shutdown has begun, so load
+// balancers stop routing chunks at a node that is on its way out.
+func (s *Server) Ready() error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	return nil
+}
 
 // Serve accepts connections until the listener fails or Shutdown runs.
 // Each connection is handled on its own goroutine via ServeConn.
@@ -172,6 +196,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	version := negotiate(f.Max, s.opts.MaxVersion)
 	if err := WriteFrame(conn, &Frame{
 		Type: TypeWelcome, Version: ProtocolV1, Max: version, Capacity: s.Capacity(),
+		Build: buildinfo.Read().Short(),
 	}); err != nil {
 		return
 	}
@@ -181,6 +206,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 	} else {
 		s.mConnsV1.Inc()
 	}
+	peer := conn.RemoteAddr().String()
+	gauge := s.metrics.GaugeWith("farm.server.sessions",
+		obs.Labels("proto", fmt.Sprintf("v%d", version)))
+	gauge.Add(1)
+	s.log.Info("farm: session started",
+		"peer", peer, "proto", version, "peer_build", f.Build)
+	defer func() {
+		gauge.Add(-1)
+		s.log.Debug("farm: session ended", "peer", peer, "proto", version)
+	}()
 
 	// Session state, all reused across the connection's frames: the
 	// negotiated codec's scratch buffers, the response frame (its Hits
@@ -244,7 +279,18 @@ func (s *Server) execute(f *Frame, resp *Frame, scratch *coverage.Counts, versio
 		sp.SetArg("unit", f.Unit)
 		sp.SetArg("instances", f.Hi-f.Lo)
 		sp.SetArg("ok", err == nil)
+		// Echo the dispatcher's trace identity so merged fleet timelines
+		// can join this span with its dispatcher-side parent.
+		sp.SetArg("chunk", f.Chunk)
+		sp.SetArg("batch", f.Batch)
+		if f.Campaign != "" {
+			sp.SetArg("campaign", f.Campaign)
+		}
 		sp.End()
+	}
+	if err != nil {
+		s.log.Debug("farm: chunk failed", "unit", f.Unit,
+			"campaign", f.Campaign, "batch", f.Batch, "chunk", f.Chunk, "err", err)
 	}
 	return scratch
 }

@@ -1,0 +1,177 @@
+package farm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestFleetTraceCorrelation is the observability acceptance criterion:
+// a fault-injected three-worker fleet run produces per-process trace
+// files (one dispatcher-side, one per worker) that merge — through the
+// same parse/merge/write pipeline cmd/tracemerge uses — into a single
+// valid Chrome-trace timeline in which every remote serve_chunk span
+// carries the same chunk/batch/campaign identity as a dispatcher-side
+// rpc span for that chunk.
+func TestFleetTraceCorrelation(t *testing.T) {
+	const campaign = "c-trace-accept"
+	faults := []Faults{
+		{DropAfterFrames: 10, Delay: time.Millisecond},
+		{DuplicateEvery: 2, FailDials: 2},
+		{},
+	}
+
+	// A fleet where every process records its own trace, like a real
+	// cdgd + 3×farmd deployment (farmFixtureV shares one recorder, so
+	// build the fixture by hand here).
+	drec := obs.NewRecorder()
+	drec.Campaign = campaign
+	lb := NewLoopback()
+	addrs := make([]string, len(faults))
+	servers := make([]*Server, len(faults))
+	srecs := make([]*obs.Recorder, len(faults))
+	for i, f := range faults {
+		srecs[i] = obs.NewRecorder()
+		servers[i] = NewServer(ServerOptions{
+			Capacity: 2, DrainTimeout: 2 * time.Second, Rec: srecs[i],
+		})
+		addrs[i] = string(rune('a' + i))
+		lb.Add(addrs[i], servers[i], f)
+	}
+	d := New(addrs, testOptions(lb.Dial, drec))
+	defer d.Close()
+	defer func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	}()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	env := sim.NewEnv(iounit.New(), 1234, 2)
+	defer env.Close()
+	env.SetRecorder(drec)
+	env.AttachRunner(d, d.Lanes())
+	unit := env.Unit()
+	a, err := env.Submit(unit.BaseTemplates()[0], 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Submit(altTemplate(t), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Wait()
+	b.Wait()
+
+	// Export each process's trace file and merge them the way
+	// cmd/tracemerge does: parse → merge → write → reparse.
+	export := func(tr *obs.Tracer) []obs.TraceEvent {
+		var buf bytes.Buffer
+		if err := tr.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := obs.ParseTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("exported trace does not reparse: %v", err)
+		}
+		return evs
+	}
+	files := []obs.TraceFile{{Name: "dispatcher", Events: export(drec.Trace)}}
+	for i, srec := range srecs {
+		files = append(files, obs.TraceFile{
+			Name:   fmt.Sprintf("farmd-%s", addrs[i]),
+			Events: export(srec.Trace),
+		})
+	}
+	var merged bytes.Buffer
+	if err := obs.WriteTrace(&merged, obs.MergeTraces(files)); err != nil {
+		t.Fatal(err)
+	}
+	timeline, err := obs.ParseTrace(merged.Bytes())
+	if err != nil {
+		t.Fatalf("merged timeline is not a valid Chrome trace: %v", err)
+	}
+
+	// Each process must own a named lane group in the merged view.
+	lanes := map[int]string{}
+	for _, ev := range timeline {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Pid], _ = ev.Args["name"].(string)
+		}
+	}
+	for pid, want := range map[int]string{1: "dispatcher", 2: "farmd-a", 3: "farmd-b", 4: "farmd-c"} {
+		if lanes[pid] != want {
+			t.Fatalf("merged lane %d = %q, want %q (lanes: %v)", pid, lanes[pid], want, lanes)
+		}
+	}
+
+	// Index the dispatcher's rpc spans by chunk id. Faulty transports
+	// retry, so one chunk may have several rpc spans — identity must
+	// agree across all of them.
+	type ident struct {
+		batch    float64
+		campaign string
+	}
+	rpcByChunk := map[float64]ident{}
+	for _, ev := range timeline {
+		if ev.Pid != 1 || ev.Name != "rpc" {
+			continue
+		}
+		chunk, ok := ev.Args["chunk"].(float64)
+		if !ok {
+			t.Fatalf("dispatcher rpc span lacks a chunk id: %+v", ev)
+		}
+		batch, _ := ev.Args["batch"].(float64)
+		camp, _ := ev.Args["campaign"].(string)
+		if camp != campaign {
+			t.Fatalf("dispatcher rpc span campaign = %q, want %q: %+v", camp, campaign, ev)
+		}
+		if prev, dup := rpcByChunk[chunk]; dup && prev != (ident{batch, camp}) {
+			t.Fatalf("chunk %v has conflicting rpc identities: %+v vs %+v", chunk, prev, ident{batch, camp})
+		}
+		rpcByChunk[chunk] = ident{batch, camp}
+	}
+	if len(rpcByChunk) == 0 {
+		t.Fatal("no dispatcher rpc spans in the merged timeline")
+	}
+
+	// Every remote serve_chunk span must join back to a dispatcher rpc
+	// span with the identical chunk/batch/campaign identity.
+	served := 0
+	workerLanes := map[int]bool{}
+	for _, ev := range timeline {
+		if ev.Pid == 1 || ev.Name != "serve_chunk" {
+			continue
+		}
+		served++
+		workerLanes[ev.Pid] = true
+		chunk, ok := ev.Args["chunk"].(float64)
+		if !ok {
+			t.Fatalf("serve_chunk span lacks a chunk id: %+v", ev)
+		}
+		parent, ok := rpcByChunk[chunk]
+		if !ok {
+			t.Fatalf("serve_chunk for chunk %v has no dispatcher-side rpc span", chunk)
+		}
+		batch, _ := ev.Args["batch"].(float64)
+		camp, _ := ev.Args["campaign"].(string)
+		if batch != parent.batch || camp != parent.campaign {
+			t.Fatalf("serve_chunk identity %v/%q disagrees with dispatcher %v/%q for chunk %v",
+				batch, camp, parent.batch, parent.campaign, chunk)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no serve_chunk spans: the fleet never executed a remote chunk")
+	}
+	// Which workers served is fault-timing-dependent; the invariant is
+	// that whatever served, it correlated.
+	t.Logf("%d serve_chunk spans across %d worker lane(s), %d dispatcher rpc chunks",
+		served, len(workerLanes), len(rpcByChunk))
+}

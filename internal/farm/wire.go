@@ -21,10 +21,17 @@
 // nc/tcpdump, and any build can negotiate with any other. The hello
 // advertises the client's highest supported protocol version (Max) and
 // the welcome answers with the negotiated one; when both ends support
-// v2 the rest of the session switches to the compact binary codec
-// (wire_v2.go) — no reflection, no encoding/json, dense varint hit
-// arrays — and otherwise it stays on v1 JSON frames, so mixed fleets
-// keep working.
+// a binary version the rest of the session switches to the compact
+// binary codec (wire_v2.go) — no reflection, no encoding/json, dense
+// varint hit arrays — and otherwise it stays on v1 JSON frames, so
+// mixed fleets keep working.
+//
+// v3 is v2 plus a trace-correlation trailer (campaign/batch/chunk IDs
+// and the peer's build identity). The fields are purely observational —
+// no result bit depends on them — and negotiation keeps old peers
+// working unchanged: a v2 session simply omits the trailer (the strict
+// v2 decoder never sees bytes it does not know), while v1 JSON carries
+// the same fields as omitempty keys old JSON decoders ignore.
 package farm
 
 import (
@@ -51,9 +58,14 @@ const (
 	// varint/fixed fields, dense varint-packed hit-count arrays, pooled
 	// encode/decode buffers (see wire_v2.go).
 	ProtocolV2 = 2
+	// ProtocolV3 is the v2 binary codec plus the trace-correlation
+	// trailer: campaign string, batch and chunk sequence uvarints, and
+	// the peer's build string, so worker-side spans carry the
+	// originating chunk's identity.
+	ProtocolV3 = 3
 	// ProtocolVersion is the highest protocol version this build
 	// speaks. Bump on any frame layout or semantics change.
-	ProtocolVersion = ProtocolV2
+	ProtocolVersion = ProtocolV3
 )
 
 // negotiate picks the chunk-path codec for a session from the two
@@ -135,10 +147,12 @@ func (e *ModelTooLargeError) Error() string {
 // maxVarint64 is the worst-case encoded size of one uvarint field.
 const maxVarint64 = 10 // binary.MaxVarintLen64
 
-// v2ResultOverhead bounds every non-hits byte of a v2 result frame:
-// type byte + fixed seed + a dozen worst-case varint fields. Kept
-// deliberately generous; it only has to be an upper bound.
-const v2ResultOverhead = 160
+// v2ResultOverhead bounds every non-hits byte of a binary (v2/v3)
+// result frame: type byte + fixed seed + a dozen worst-case varint
+// fields, plus the v3 trace trailer (two varint IDs and two strings
+// that are empty on results). Kept deliberately generous; it only has
+// to be an upper bound.
+const v2ResultOverhead = 256
 
 // MaxEventsV2 is the largest coverage-model size whose worst-case v2
 // result frame (every hit count varint-maximal) still fits MaxFrame.
@@ -200,6 +214,19 @@ type Frame struct {
 	Hits []uint64 `json:"hits,omitempty"`
 	Sims uint64   `json:"sims,omitempty"`
 	Err  string   `json:"err,omitempty"`
+
+	// Trace correlation (purely observational — no result bit depends
+	// on these): the originating campaign / batch / chunk identity the
+	// dispatcher stamps on chunk requests so worker-side spans line up
+	// with their dispatcher-side parents in a merged fleet trace. In v1
+	// sessions they travel as omitempty JSON keys old decoders ignore;
+	// v3 sessions append them as a binary trailer; v2 sessions drop
+	// them (the strict v2 decoder predates them). Build carries the
+	// peer's build identity on hello (client) and welcome (server).
+	Campaign string `json:"camp,omitempty"`
+	Batch    uint64 `json:"batch,omitempty"`
+	Chunk    uint64 `json:"chunk,omitempty"`
+	Build    string `json:"build,omitempty"`
 }
 
 // WriteFrame encodes f as one length-prefixed frame. The prefix and
@@ -263,13 +290,16 @@ func chunkFrame(id uint64, c sim.RemoteChunk) *Frame {
 // keeps its decode buffer across requests.
 func fillChunkFrame(f *Frame, id uint64, c sim.RemoteChunk) {
 	*f = Frame{
-		Type: TypeChunk,
-		ID:   id,
-		Unit: c.Unit,
-		Seed: c.Seed,
-		Lo:   c.Lo,
-		Hi:   c.Hi,
-		Hits: f.Hits[:0],
+		Type:     TypeChunk,
+		ID:       id,
+		Unit:     c.Unit,
+		Seed:     c.Seed,
+		Lo:       c.Lo,
+		Hi:       c.Hi,
+		Hits:     f.Hits[:0],
+		Campaign: c.Campaign,
+		Batch:    c.Batch,
+		Chunk:    c.Chunk,
 	}
 	if c.Template != nil {
 		f.Template = c.Template.String()

@@ -38,6 +38,16 @@ import (
 //	sims     uvarint
 //	err      string
 //	nhits    uvarint, then nhits × uvarint hit counts
+//
+// Protocol v3 appends the trace-correlation trailer to the same
+// layout — the strict v2 decoder rejects trailing bytes, which is
+// exactly why the trailer rides behind a negotiated version bump
+// instead of being bolted onto v2 frames:
+//
+//	campaign string
+//	batch    uvarint
+//	chunk    uvarint
+//	build    string
 
 // v2 type bytes. 0 is deliberately invalid so an all-zero payload is
 // rejected.
@@ -103,6 +113,19 @@ func appendFrameV2(dst []byte, f *Frame) ([]byte, error) {
 	for _, h := range f.Hits {
 		dst = binary.AppendUvarint(dst, h)
 	}
+	return dst, nil
+}
+
+// appendFrameV3 is appendFrameV2 plus the trace-correlation trailer.
+func appendFrameV3(dst []byte, f *Frame) ([]byte, error) {
+	dst, err := appendFrameV2(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendV2String(dst, f.Campaign)
+	dst = binary.AppendUvarint(dst, f.Batch)
+	dst = binary.AppendUvarint(dst, f.Chunk)
+	dst = appendV2String(dst, f.Build)
 	return dst, nil
 }
 
@@ -194,6 +217,15 @@ func (r *v2Reader) u64(what string) uint64 {
 // capacity. Trailing bytes, truncated fields, unknown types and
 // implausible lengths are all rejected.
 func decodeFrameV2(p []byte, f *Frame) error {
+	return decodeFrameBinary(p, f, ProtocolV2)
+}
+
+// decodeFrameV3 additionally decodes the trace-correlation trailer.
+func decodeFrameV3(p []byte, f *Frame) error {
+	return decodeFrameBinary(p, f, ProtocolV3)
+}
+
+func decodeFrameBinary(p []byte, f *Frame, version int) error {
 	hits := f.Hits[:0]
 	*f = Frame{}
 	r := &v2Reader{p: p}
@@ -230,6 +262,12 @@ func decodeFrameV2(p []byte, f *Frame) error {
 		}
 		f.Hits = hits[:nhits]
 	}
+	if version >= ProtocolV3 {
+		f.Campaign = r.str("campaign")
+		f.Batch = r.uvarint("batch")
+		f.Chunk = r.uvarint("chunk")
+		f.Build = r.str("build")
+	}
 	if r.err != nil {
 		return r.err
 	}
@@ -260,7 +298,13 @@ func (c *codec) write(w io.Writer, f *Frame) error {
 	if cap(c.wbuf) < 4 {
 		c.wbuf = make([]byte, 4, 512)
 	}
-	buf, err := appendFrameV2(c.wbuf[:4], f)
+	var buf []byte
+	var err error
+	if c.version >= ProtocolV3 {
+		buf, err = appendFrameV3(c.wbuf[:4], f)
+	} else {
+		buf, err = appendFrameV2(c.wbuf[:4], f)
+	}
 	if err != nil {
 		return err
 	}
@@ -303,7 +347,7 @@ func (c *codec) read(r io.Reader, f *Frame) error {
 		}
 		return err
 	}
-	return decodeFrameV2(p, f)
+	return decodeFrameBinary(p, f, c.version)
 }
 
 // codecPool backs the stateless WriteFrameV2/ReadFrameV2: transient

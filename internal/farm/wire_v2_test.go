@@ -110,11 +110,12 @@ func TestHandshakeNegotiation(t *testing.T) {
 		helloMax  int
 		want      int
 	}{
-		{"both_v2", 0, ProtocolVersion, ProtocolV2},
+		{"both_current", 0, ProtocolVersion, ProtocolVersion},
 		{"old_client_no_max", 0, 0, ProtocolV1},
 		{"v1_capped_server", 1, ProtocolVersion, ProtocolV1},
 		{"v1_capped_client", 0, 1, ProtocolV1},
-		{"future_client", 0, ProtocolVersion + 5, ProtocolV2},
+		{"v2_capped_client", 0, 2, ProtocolV2},
+		{"future_client", 0, ProtocolVersion + 5, ProtocolVersion},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -353,7 +354,7 @@ func TestCheckModelFits(t *testing.T) {
 func TestFarmModelTooLarge(t *testing.T) {
 	rec := obs.NewRecorder()
 	d, _ := farmFixture(t, []Faults{{}}, rec)
-	if err := d.WaitReady(5*time.Second); err != nil {
+	if err := d.WaitReady(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	_, err := d.RunChunk(sim.RemoteChunk{
@@ -407,7 +408,19 @@ func TestFarmMixedVersionFleet(t *testing.T) {
 			d, _ := farmFixtureV(t, sc.faults, sc.serverMax, sc.dispMax, rec)
 			got := workload(t, d, d.Lanes())
 			diffCounts(t, sc.name, got, want)
+			// A tiny workload can finish on local fallback before every
+			// keeper's handshake lands; the connection counters are about
+			// the fleet, not the workload, so poll until the dials settle.
+			deadline := time.Now().Add(5 * time.Second)
 			snap := rec.Metrics.Snapshot()
+			for (sc.wantV1 && snap.Counters["farm.conns_v1"] == 0) ||
+				(sc.wantV2 && snap.Counters["farm.conns_v2"] == 0) {
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+				snap = rec.Metrics.Snapshot()
+			}
 			if sc.wantV1 && snap.Counters["farm.conns_v1"] == 0 {
 				t.Fatal("no v1 connections in a fleet that requires them")
 			}

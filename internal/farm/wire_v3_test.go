@@ -1,0 +1,149 @@
+package farm
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/duv/iounit"
+	"repro/internal/sim"
+)
+
+// traceFrame is a representative chunk frame carrying the v3 trace
+// trailer (campaign/batch/chunk identity plus the peer build string).
+func traceFrame() Frame {
+	return Frame{
+		Type: TypeChunk, ID: 9, Unit: "iounit",
+		Template: "template t { weight Mode { a: 1; } }", HasTemplate: true,
+		Seed: 77, Lo: 8, Hi: 24,
+		Campaign: "c000042", Batch: 13, Chunk: 123456, Build: "abc123def456",
+	}
+}
+
+// TestFrameRoundTripV3 locks the trailer semantics per codec: v3 and v1
+// (JSON) preserve the trace fields, a v2 session never carries them.
+func TestFrameRoundTripV3(t *testing.T) {
+	f := traceFrame()
+
+	var buf bytes.Buffer
+	v3 := &codec{version: ProtocolV3}
+	if err := v3.write(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	var got Frame
+	if err := v3.read(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("v3 round trip:\n%+v\nvs\n%+v", got, f)
+	}
+
+	buf.Reset()
+	if err := WriteFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	var v1 Frame
+	if err := ReadFrame(&buf, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, v1) {
+		t.Fatalf("v1 JSON round trip dropped trace fields:\n%+v\nvs\n%+v", v1, f)
+	}
+
+	// A v2 session encodes without the trailer: the decoded frame is the
+	// same chunk minus its trace identity — exactly what an old peer sees.
+	buf.Reset()
+	v2 := &codec{version: ProtocolV2}
+	if err := v2.write(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	var old Frame
+	if err := v2.read(&buf, &old); err != nil {
+		t.Fatal(err)
+	}
+	want := f
+	want.Campaign, want.Batch, want.Chunk, want.Build = "", 0, 0, ""
+	if !reflect.DeepEqual(want, old) {
+		t.Fatalf("v2 round trip:\n%+v\nvs\n%+v", old, want)
+	}
+}
+
+// TestV3TrailerStrictness locks the failure modes when payload and
+// codec version disagree — sessions negotiate one version, so a
+// mismatch is a protocol violation that must fail loudly, not decode
+// into a half-right frame.
+func TestV3TrailerStrictness(t *testing.T) {
+	f := traceFrame()
+	v3Bytes, err := appendFrameV3(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Frame
+	// v2 decoder on a v3 payload: the trailer is trailing garbage.
+	if err := decodeFrameBinary(v3Bytes, &got, ProtocolV2); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("v2 decode of v3 payload: %v, want trailing-bytes error", err)
+	}
+	// v3 decoder on a v2 payload: the trailer is missing.
+	v2Bytes, err := appendFrameV2(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeFrameBinary(v2Bytes, &got, ProtocolV3); err == nil {
+		t.Fatal("v3 decode of v2 payload succeeded")
+	}
+}
+
+// TestFrameRoundTripQuickV3 property-checks the v3 codec over frames
+// with arbitrary trace identities: encode → decode is the identity, and
+// the v1 JSON codec agrees field for field.
+func TestFrameRoundTripQuickV3(t *testing.T) {
+	prop := func(typeIdx uint8, id, seed uint64, lo, hi uint16, unit string,
+		campaign, build string, batch, chunkID uint64, hits []uint64) bool {
+		f := quickFrame(typeIdx, 1, 4, id, seed, uint64(len(hits)), lo, hi, unit, "", false, hits)
+		f.Campaign = strings.ToValidUTF8(campaign, "?")
+		f.Build = strings.ToValidUTF8(build, "?")
+		f.Batch = batch
+		f.Chunk = chunkID
+		p, err := appendFrameV3(nil, &f)
+		if err != nil {
+			return false
+		}
+		var v3 Frame
+		if err := decodeFrameBinary(p, &v3, ProtocolV3); err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(f, v3) {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &f); err != nil {
+			return false
+		}
+		var v1 Frame
+		if err := ReadFrame(&buf, &v1); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(v1, v3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkFrameCarriesTraceIdentity locks the dispatcher-side fill
+// path: a RemoteChunk's campaign/batch/chunk identity lands on the
+// outbound frame.
+func TestChunkFrameCarriesTraceIdentity(t *testing.T) {
+	c := sim.RemoteChunk{
+		Unit: iounit.UnitName, Seed: 1, Lo: 0, Hi: 8,
+		Campaign: "c000007", Batch: 3, Chunk: 99,
+	}
+	var f Frame
+	fillChunkFrame(&f, 11, c)
+	if f.Campaign != "c000007" || f.Batch != 3 || f.Chunk != 99 {
+		t.Fatalf("frame trace identity = %q/%d/%d", f.Campaign, f.Batch, f.Chunk)
+	}
+}

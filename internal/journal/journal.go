@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 
 	"repro/internal/obs"
@@ -167,7 +168,9 @@ func Create(path string, rec *obs.Recorder) (*Writer, error) {
 // Recover reads a journal, truncates any torn tail, and reopens the
 // file for appending. It returns the surviving records (for replay) and
 // a writer positioned after them. The caller owns closing the writer.
-func Recover(path string, rec *obs.Recorder) ([]Record, *Writer, error) {
+// log (nil allowed) receives structured truncation/resume events.
+func Recover(path string, rec *obs.Recorder, log *slog.Logger) ([]Record, *Writer, error) {
+	log = obs.OrNop(log)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -191,12 +194,15 @@ func Recover(path string, rec *obs.Recorder) ([]Record, *Writer, error) {
 			return nil, nil, err
 		}
 		rec.Counter("journal.truncated_bytes").Add(uint64(int64(len(data)) - valid))
+		log.Warn("journal: torn tail truncated",
+			"path", path, "dropped_bytes", int64(len(data))-valid)
 	}
 	if _, err := f.Seek(valid, 0); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
 	rec.Counter("journal.recoveries").Inc()
+	log.Info("journal: recovered", "path", path, "records", len(recs))
 	return recs, newWriter(f, path, len(recs), rec), nil
 }
 

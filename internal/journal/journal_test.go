@@ -37,7 +37,7 @@ func TestAppendRecoverRoundTrip(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	recs, w2, err := Recover(path, nil)
+	recs, w2, err := Recover(path, nil, nil)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestRecoverTruncatesTornTail(t *testing.T) {
 		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, w, err := Recover(path, nil)
+		recs, w, err := Recover(path, nil, nil)
 		if err != nil {
 			t.Fatalf("cut %d: Recover: %v", cut, err)
 		}
@@ -93,7 +93,7 @@ func TestRecoverTruncatesTornTail(t *testing.T) {
 			t.Fatalf("cut %d: Append after recovery: %v", cut, err)
 		}
 		w.Close()
-		recs2, w2, err := Recover(path, nil)
+		recs2, w2, err := Recover(path, nil, nil)
 		if err != nil {
 			t.Fatalf("cut %d: second Recover: %v", cut, err)
 		}
@@ -112,13 +112,13 @@ func TestRecoverRejectsNonJournal(t *testing.T) {
 	if err := os.WriteFile(path, []byte("this is not a journal at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Recover(path, nil); !errors.Is(err, ErrNotJournal) {
+	if _, _, err := Recover(path, nil, nil); !errors.Is(err, ErrNotJournal) {
 		t.Fatalf("Recover of non-journal: err=%v, want ErrNotJournal", err)
 	}
 	if err := os.WriteFile(path, []byte("AS"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Recover(path, nil); !errors.Is(err, ErrNotJournal) {
+	if _, _, err := Recover(path, nil, nil); !errors.Is(err, ErrNotJournal) {
 		t.Fatalf("Recover of short file: err=%v, want ErrNotJournal", err)
 	}
 }
@@ -137,7 +137,7 @@ func TestRecoverCorruptMiddleKeepsPrefix(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	recs, w, err := Recover(path, nil)
+	recs, w, err := Recover(path, nil, nil)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestFailAppendsInjection(t *testing.T) {
 			t.Fatalf("tear=%d: post-injection append err=%v, want ErrInjected", tear, err)
 		}
 		w.Close()
-		recs, w2, err := Recover(path, nil)
+		recs, w2, err := Recover(path, nil, nil)
 		if err != nil {
 			t.Fatalf("tear=%d: Recover: %v", tear, err)
 		}
@@ -243,7 +243,7 @@ func TestJournalMetrics(t *testing.T) {
 	if err := os.WriteFile(path, append(data, 0xde, 0xad), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, w2, err := Recover(path, rec)
+	_, w2, err := Recover(path, rec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Health aggregates named readiness checks for the /readyz endpoint.
+// Liveness (/healthz) is implicit — the process answering HTTP is the
+// signal — while readiness is the AND of every registered check:
+// daemons register probes like "farm worker not draining" or "campaign
+// queue not saturated", and load balancers route around any node whose
+// probe fails. A nil *Health reports ready, so wiring is optional.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health aggregate (ready by default).
+func NewHealth() *Health {
+	return &Health{checks: map[string]func() error{}}
+}
+
+// Set registers (or replaces) a named readiness check. The check is
+// called on every /readyz request and must be cheap and concurrency
+// safe; returning an error marks the process not ready. A nil check
+// removes the name.
+func (h *Health) Set(name string, check func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if check == nil {
+		delete(h.checks, name)
+		return
+	}
+	h.checks[name] = check
+}
+
+// Err runs every check in name order and returns the first failure,
+// wrapped with the check's name, or nil when the process is ready.
+func (h *Health) Err() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for n := range h.checks {
+		names = append(names, n)
+	}
+	checks := make([]func() error, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		checks = append(checks, h.checks[n])
+	}
+	h.mu.Unlock()
+	for i, check := range checks {
+		if err := check(); err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	return nil
+}

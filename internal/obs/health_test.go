@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestHealthNilIsReady(t *testing.T) {
+	var h *Health
+	if err := h.Err(); err != nil {
+		t.Fatalf("nil Health not ready: %v", err)
+	}
+	if err := NewHealth().Err(); err != nil {
+		t.Fatalf("empty Health not ready: %v", err)
+	}
+}
+
+func TestHealthFirstFailureInNameOrder(t *testing.T) {
+	h := NewHealth()
+	errB := errors.New("b broke")
+	h.Set("b", func() error { return errB })
+	h.Set("a", func() error { return nil })
+	h.Set("c", func() error { return errors.New("c broke") })
+	err := h.Err()
+	if !errors.Is(err, errB) {
+		t.Fatalf("Err() = %v, want wrapped %v", err, errB)
+	}
+	if !strings.HasPrefix(err.Error(), "b: ") {
+		t.Fatalf("failure not named: %v", err)
+	}
+}
+
+func TestHealthSetNilRemoves(t *testing.T) {
+	h := NewHealth()
+	h.Set("x", func() error { return errors.New("down") })
+	if h.Err() == nil {
+		t.Fatal("failing check did not fail")
+	}
+	h.Set("x", nil)
+	if err := h.Err(); err != nil {
+		t.Fatalf("removed check still fails: %v", err)
+	}
+}

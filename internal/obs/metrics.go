@@ -259,6 +259,42 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return h
 }
 
+// CounterWith returns the counter for name with the given label set
+// (rendered by Labels). Labeled series live in the registry under the
+// composite key "name{k=\"v\",...}"; Snapshot and Format keep that key,
+// and the OpenMetrics exposition splits it back into a family plus
+// labels. An empty labels string is the plain unlabeled series.
+func (r *Registry) CounterWith(name, labels string) *Counter {
+	return r.Counter(metricKey(name, labels))
+}
+
+// GaugeWith returns the gauge for name with the given label set.
+func (r *Registry) GaugeWith(name, labels string) *Gauge {
+	return r.Gauge(metricKey(name, labels))
+}
+
+// HistogramWith returns the histogram for name with the given label
+// set, creating it with bounds on first use.
+func (r *Registry) HistogramWith(name, labels string, bounds []uint64) *Histogram {
+	return r.Histogram(metricKey(name, labels), bounds)
+}
+
+func metricKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// splitMetricKey splits a registry key into its family name and label
+// part ("" when unlabeled).
+func splitMetricKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry,
 // JSON-serializable for the debug endpoint.
 type Snapshot struct {

@@ -10,6 +10,24 @@ type Recorder struct {
 	Metrics  *Registry
 	Trace    *Tracer
 	Progress *Progress
+
+	// Campaign is the trace-correlation identity of the work recorded
+	// through this handle ("" for standalone runs). The service sets it
+	// to the campaign ID on each campaign's per-run recorder; the
+	// scheduler stamps it — together with batch and chunk sequence
+	// numbers — onto chunk spans and outbound farm frames, so a farmd
+	// span on another host carries the same IDs as its dispatcher-side
+	// parent.
+	Campaign string
+}
+
+// CampaignID returns the correlation identity ("" when unset or when
+// the recorder is nil).
+func (r *Recorder) CampaignID() string {
+	if r == nil {
+		return ""
+	}
+	return r.Campaign
 }
 
 // NewRecorder returns a recorder with all three sinks enabled (the

@@ -1,0 +1,523 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/buildinfo"
+)
+
+// This file is the OpenMetrics text exposition (the format Prometheus
+// scrapes): WriteOpenMetrics renders a Registry snapshot, Labels builds
+// canonical label sets for the *With registry lookups, and
+// ValidateOpenMetrics is the strict in-test conformance checker the CI
+// gate runs against every /metrics endpoint.
+//
+// Internal metric names use dots ("farm.rpc_ns"); the exposition maps
+// every character outside [a-zA-Z0-9_:] to '_' ("farm_rpc_ns").
+// Counters gain the mandated "_total" suffix, histograms expand into
+// cumulative "_bucket{le=...}" series plus "_sum"/"_count", and every
+// page carries an ascdg_build_info gauge and ends with "# EOF".
+
+// Labels renders a canonical OpenMetrics label set from key/value
+// pairs: sorted by key, values escaped, rendered as k="v",k2="v2".
+// It panics on an odd number of arguments (a programming error).
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs.Labels: odd number of key/value arguments")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{sanitizeLabelName(kv[i]), kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// sanitizeMetricName maps an internal metric name onto the OpenMetrics
+// charset: [a-zA-Z_:][a-zA-Z0-9_:]*, with '.' and any other byte
+// outside it becoming '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func sanitizeLabelName(name string) string {
+	s := sanitizeMetricName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// OpenMetricsContentType is the content type of the exposition,
+// advertised by the /metrics endpoints.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// formatLe renders a histogram bucket bound as a canonical OpenMetrics
+// float: integral values carry a ".0" suffix (10.0, not 10).
+func formatLe(bound uint64) string {
+	s := strconv.FormatFloat(float64(bound), 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+type omSample struct {
+	suffix string // appended to the family name ("_total", "_bucket", ...)
+	labels string
+	value  string
+}
+
+type omFamily struct {
+	name    string
+	typ     string
+	samples []omSample
+}
+
+// WriteOpenMetrics renders a point-in-time snapshot of the registry in
+// the OpenMetrics text format, including the ascdg_build_info gauge and
+// the terminating "# EOF" line. A nil registry renders build_info only
+// — a valid, nearly empty page — so endpoints need no nil branches.
+func WriteOpenMetrics(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	families := map[string]*omFamily{}
+	add := func(key, typ, suffix, value string) {
+		name, labels := splitMetricKey(key)
+		name = sanitizeMetricName(name)
+		f, ok := families[name]
+		if !ok {
+			f = &omFamily{name: name, typ: typ}
+			families[name] = f
+		}
+		f.samples = append(f.samples, omSample{suffix: suffix, labels: labels, value: value})
+	}
+	for key, v := range snap.Counters {
+		add(key, "counter", "_total", strconv.FormatUint(v, 10))
+	}
+	for key, v := range snap.Gauges {
+		add(key, "gauge", "", strconv.FormatInt(v, 10))
+	}
+	for key, hs := range snap.Histograms {
+		name, labels := splitMetricKey(key)
+		name = sanitizeMetricName(name)
+		f, ok := families[name]
+		if !ok {
+			f = &omFamily{name: name, typ: "histogram"}
+			families[name] = f
+		}
+		cum := uint64(0)
+		for i, b := range hs.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(hs.Bounds) {
+				le = formatLe(hs.Bounds[i])
+			}
+			bl := `le="` + le + `"`
+			if labels != "" {
+				bl = labels + "," + bl
+			}
+			f.samples = append(f.samples, omSample{suffix: "_bucket", labels: bl,
+				value: strconv.FormatUint(cum, 10)})
+		}
+		// _count is the +Inf cumulative, not hs.Count: the snapshot copies
+		// buckets and count with separate atomic loads, so under concurrent
+		// Observe calls only the bucket-derived total is guaranteed
+		// consistent with the buckets on the same page.
+		f.samples = append(f.samples,
+			omSample{suffix: "_sum", labels: labels, value: strconv.FormatUint(hs.Sum, 10)},
+			omSample{suffix: "_count", labels: labels, value: strconv.FormatUint(cum, 10)})
+	}
+
+	bi := buildinfo.Read()
+	add("ascdg_build_info", "gauge", "", "1")
+	f := families["ascdg_build_info"]
+	f.samples[len(f.samples)-1].labels = Labels(
+		"version", bi.Version,
+		"revision", bi.Revision,
+		"goversion", bi.GoVersion,
+	)
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := families[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		// Histogram sample order (buckets, sum, count per series) is
+		// already structural; for flat families sort by labels so the
+		// page is deterministic run to run.
+		if f.typ != "histogram" {
+			sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		}
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			if s.labels != "" {
+				b.WriteByte('{')
+				b.WriteString(s.labels)
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(s.value)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var (
+	omMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	omLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type omSeries struct {
+	name   string
+	labels map[string]string
+}
+
+// parseOMSample parses one exposition sample line into its series and
+// value. It enforces label syntax (quoting, escapes, separators).
+func parseOMSample(line string) (omSeries, float64, error) {
+	s := omSeries{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, 0, fmt.Errorf("no value on sample line")
+	}
+	s.name = rest[:nameEnd]
+	if !omMetricName.MatchString(s.name) {
+		return s, 0, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		rest = rest[1:] // consume '{'
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, 0, fmt.Errorf("label without '='")
+			}
+			lname := rest[:eq]
+			if !omLabelName.MatchString(lname) {
+				return s, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return s, 0, fmt.Errorf("unquoted label value for %q", lname)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' {
+					if i+1 >= len(rest) {
+						return s, 0, fmt.Errorf("dangling escape in label value")
+					}
+					i++
+					switch rest[i] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, 0, fmt.Errorf("invalid escape \\%c", rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return s, 0, fmt.Errorf("unterminated label value for %q", lname)
+			}
+			if _, dup := s.labels[lname]; dup {
+				return s, 0, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.labels[lname] = val.String()
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+				continue
+			}
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			return s, 0, fmt.Errorf("malformed label separator")
+		}
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, 0, fmt.Errorf("missing space before value")
+	}
+	valueStr := rest[1:]
+	if valueStr == "" || strings.ContainsAny(valueStr, " \t") {
+		return s, 0, fmt.Errorf("malformed value %q (timestamps are not accepted)", valueStr)
+	}
+	v, err := parseOMFloat(valueStr)
+	if err != nil {
+		return s, 0, err
+	}
+	return s, v, nil
+}
+
+func parseOMFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf", "NaN":
+		return 0, fmt.Errorf("value %q not produced by this exposition", s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+func seriesKey(s omSeries, drop string) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if k == drop {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.labels[k])
+	}
+	return b.String()
+}
+
+type omHistState struct {
+	lastLe  float64
+	lastCum float64
+	haveLe  bool
+	infCum  float64
+	haveInf bool
+	count   float64
+	haveCnt bool
+	haveSum bool
+}
+
+// ValidateOpenMetrics is a strict structural validator for the subset
+// of the OpenMetrics text format this package emits: TYPE-declared
+// counter/gauge/histogram/info families, no interleaving, "_total"
+// counters, cumulative non-decreasing histogram buckets ending in
+// le="+Inf" with _count equal to the +Inf bucket, no duplicate series,
+// and a final "# EOF\n". The CI conformance gate scrapes each /metrics
+// endpoint and runs its body through here.
+func ValidateOpenMetrics(data []byte) error {
+	text := string(data)
+	if !strings.HasSuffix(text, "# EOF\n") {
+		return fmt.Errorf("openmetrics: exposition must end with %q", "# EOF\n")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	types := map[string]string{} // family -> type
+	seen := map[string]bool{}    // full series key incl. le -> present
+	hists := map[string]*omHistState{}
+	var curFamily, curType string
+	sawEOF := false
+	for ln, line := range lines {
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", ln+1)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if line == "" {
+			return fmt.Errorf("openmetrics: line %d: empty line", ln+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return fmt.Errorf("openmetrics: line %d: malformed comment %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("openmetrics: line %d: malformed TYPE line", ln+1)
+				}
+				name, typ := fields[2], fields[3]
+				if !omMetricName.MatchString(name) {
+					return fmt.Errorf("openmetrics: line %d: invalid family name %q", ln+1, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "info":
+				default:
+					return fmt.Errorf("openmetrics: line %d: unsupported type %q", ln+1, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("openmetrics: line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				types[name] = typ
+				curFamily, curType = name, typ
+			case "HELP", "UNIT":
+				if fields[2] != curFamily {
+					return fmt.Errorf("openmetrics: line %d: %s for %q outside its family block", ln+1, fields[1], fields[2])
+				}
+			default:
+				return fmt.Errorf("openmetrics: line %d: unknown comment keyword %q", ln+1, fields[1])
+			}
+			continue
+		}
+		s, v, err := parseOMSample(line)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %v", ln+1, err)
+		}
+		if curFamily == "" {
+			return fmt.Errorf("openmetrics: line %d: sample %q before any TYPE declaration", ln+1, s.name)
+		}
+		var base, suffix string
+		switch curType {
+		case "counter":
+			if !strings.HasSuffix(s.name, "_total") {
+				return fmt.Errorf("openmetrics: line %d: counter sample %q lacks _total", ln+1, s.name)
+			}
+			base, suffix = strings.TrimSuffix(s.name, "_total"), "_total"
+		case "gauge":
+			base = s.name
+		case "info":
+			if !strings.HasSuffix(s.name, "_info") {
+				return fmt.Errorf("openmetrics: line %d: info sample %q lacks _info", ln+1, s.name)
+			}
+			base = strings.TrimSuffix(s.name, "_info")
+		case "histogram":
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(s.name, suf) {
+					base, suffix = strings.TrimSuffix(s.name, suf), suf
+					break
+				}
+			}
+			if base == "" {
+				return fmt.Errorf("openmetrics: line %d: histogram sample %q has no bucket/sum/count suffix", ln+1, s.name)
+			}
+		}
+		if base != curFamily {
+			return fmt.Errorf("openmetrics: line %d: sample %q interleaves into family %q", ln+1, s.name, curFamily)
+		}
+		full := seriesKey(s, "") + "|..suffix=" + suffix
+		if seen[full] {
+			return fmt.Errorf("openmetrics: line %d: duplicate series %q", ln+1, line)
+		}
+		seen[full] = true
+		if v < 0 && curType != "gauge" {
+			return fmt.Errorf("openmetrics: line %d: negative %s value", ln+1, curType)
+		}
+		if curType != "histogram" {
+			continue
+		}
+		// Group the histogram's series by base name (the _bucket/_sum/
+		// _count suffixes all belong to one histogram) and labels minus le.
+		base2 := s
+		base2.name = base
+		group := seriesKey(base2, "le")
+		st, ok := hists[group]
+		if !ok {
+			st = &omHistState{}
+			hists[group] = st
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("openmetrics: line %d: bucket without le label", ln+1)
+			}
+			leV := 0.0
+			if le == "+Inf" {
+				st.haveInf = true
+				st.infCum = v
+				leV = math.Inf(1)
+			} else if leV, err = strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("openmetrics: line %d: invalid le %q", ln+1, le)
+			} else if st.haveInf {
+				return fmt.Errorf("openmetrics: line %d: finite bucket after +Inf", ln+1)
+			}
+			if st.haveLe && leV <= st.lastLe {
+				return fmt.Errorf("openmetrics: line %d: bucket bounds not increasing", ln+1)
+			}
+			if st.haveLe && v < st.lastCum {
+				return fmt.Errorf("openmetrics: line %d: bucket counts not cumulative", ln+1)
+			}
+			st.haveLe, st.lastLe, st.lastCum = true, leV, v
+		case "_sum":
+			st.haveSum = true
+		case "_count":
+			st.haveCnt = true
+			st.count = v
+		}
+	}
+	if !sawEOF {
+		return fmt.Errorf("openmetrics: missing # EOF line")
+	}
+	for group, st := range hists {
+		if !st.haveInf {
+			return fmt.Errorf("openmetrics: histogram %q has no +Inf bucket", group)
+		}
+		if !st.haveSum || !st.haveCnt {
+			return fmt.Errorf("openmetrics: histogram %q missing _sum or _count", group)
+		}
+		if st.count != st.infCum {
+			return fmt.Errorf("openmetrics: histogram %q: _count %g != +Inf bucket %g", group, st.count, st.infCum)
+		}
+	}
+	return nil
+}

@@ -18,9 +18,14 @@ type Config struct {
 	ProgressW io.Writer
 	// MetricsDump prints the final metrics summary at Close.
 	MetricsDump bool
-	// DebugAddr, when non-empty, serves /debug/vars, /debug/metrics
-	// and /debug/pprof on this address for the duration of the run.
+	// DebugAddr, when non-empty, serves /debug/vars, /debug/metrics,
+	// /debug/pprof, /metrics, /healthz and /readyz on this address for
+	// the duration of the run.
 	DebugAddr string
+	// Health, when non-nil, answers the debug server's /readyz probe;
+	// daemons register their readiness checks on it (possibly after
+	// StartSession returns — checks are read per request).
+	Health *Health
 }
 
 func (c Config) enabled() bool {
@@ -56,7 +61,7 @@ func StartSession(cfg Config, w io.Writer) (*Session, error) {
 		s.rec.Progress = NewProgress(cfg.ProgressW)
 	}
 	if cfg.DebugAddr != "" {
-		srv, err := ServeDebug(cfg.DebugAddr, s.rec.Metrics)
+		srv, err := ServeDebug(cfg.DebugAddr, s.rec.Metrics, cfg.Health)
 		if err != nil {
 			return nil, fmt.Errorf("obs: debug server: %w", err)
 		}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file merges per-process Chrome trace files from a fleet run
+// (one from the dispatcher-side CLI or cdgd, one per farmd) into a
+// single timeline: each input becomes its own pid "lane group" named
+// after the file, so Perfetto shows the dispatcher's rpc spans and
+// every worker's serve_chunk spans side by side, correlated by the
+// campaign/batch/chunk span args the wire protocol carries across the
+// process boundary. cmd/tracemerge is the CLI face of MergeTraces.
+
+// TraceFile is one per-process trace input to MergeTraces.
+type TraceFile struct {
+	// Name labels the process lane in the merged view (typically the
+	// file name, e.g. "farmd-host2").
+	Name string
+	// Events are the process's trace events, as written by
+	// Tracer.Export.
+	Events []TraceEvent
+}
+
+// ParseTrace decodes a Chrome trace file: either the bare JSON array
+// Tracer.Export writes or the object form {"traceEvents": [...]}.
+func ParseTrace(data []byte) ([]TraceEvent, error) {
+	var events []TraceEvent
+	if err := json.Unmarshal(data, &events); err == nil {
+		return events, nil
+	}
+	var obj struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return nil, fmt.Errorf("obs: not a Chrome trace (neither an event array nor a traceEvents object): %w", err)
+	}
+	if obj.TraceEvents == nil {
+		return nil, fmt.Errorf("obs: not a Chrome trace: no traceEvents array")
+	}
+	return obj.TraceEvents, nil
+}
+
+// MergeTraces combines per-process traces into one timeline: input i's
+// events move to pid i+1, prefixed with a process_name metadata event
+// carrying the file's Name, so every process gets a named lane group
+// and the per-process tids (flow, workers, rpc lanes) stay distinct
+// within it. Timestamps are preserved as-is — each tracer's epoch is
+// its own process start, which is exactly the alignment wanted for
+// comparing per-process activity of one fleet run.
+func MergeTraces(files []TraceFile) []TraceEvent {
+	var merged []TraceEvent
+	for i, f := range files {
+		pid := i + 1
+		merged = append(merged, TraceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": f.Name},
+		})
+		for _, ev := range f.Events {
+			ev.Pid = pid
+			merged = append(merged, ev)
+		}
+	}
+	if merged == nil {
+		merged = []TraceEvent{}
+	}
+	return merged
+}
+
+// WriteTrace writes events as one JSON array — a loadable Chrome trace.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.NewEncoder(w).Encode(events)
+}

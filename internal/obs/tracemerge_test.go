@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseTraceForms(t *testing.T) {
+	array := []byte(`[{"name":"a","cat":"c","ph":"X","ts":1,"dur":2,"pid":0,"tid":1}]`)
+	events, err := ParseTrace(array)
+	if err != nil || len(events) != 1 || events[0].Name != "a" {
+		t.Fatalf("bare array: %v, %v", events, err)
+	}
+	object := []byte(`{"traceEvents":[{"name":"b","ph":"X","pid":0,"tid":1}]}`)
+	events, err = ParseTrace(object)
+	if err != nil || len(events) != 1 || events[0].Name != "b" {
+		t.Fatalf("object form: %v, %v", events, err)
+	}
+	if _, err := ParseTrace([]byte(`{"displayTimeUnit":"ms"}`)); err == nil {
+		t.Fatal("object without traceEvents accepted")
+	}
+	if _, err := ParseTrace([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMergeTracesLanes(t *testing.T) {
+	files := []TraceFile{
+		{Name: "cdgd.trace", Events: []TraceEvent{
+			{Name: "rpc", Cat: "farm", Ph: "X", Tid: 200},
+		}},
+		{Name: "farmd-a.trace", Events: []TraceEvent{
+			{Name: "serve_chunk", Cat: "farm", Ph: "X", Tid: 1},
+			{Name: "serve_chunk", Cat: "farm", Ph: "X", Tid: 1},
+		}},
+	}
+	merged := MergeTraces(files)
+	// 2 metadata events + 3 spans.
+	if len(merged) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged))
+	}
+	if merged[0].Ph != "M" || merged[0].Name != "process_name" ||
+		merged[0].Pid != 1 || merged[0].Args["name"] != "cdgd.trace" {
+		t.Fatalf("first metadata event = %+v", merged[0])
+	}
+	pids := map[string]int{}
+	for _, ev := range merged {
+		if ev.Ph == "X" {
+			pids[ev.Name] = ev.Pid
+		}
+	}
+	if pids["rpc"] != 1 || pids["serve_chunk"] != 2 {
+		t.Fatalf("pid remap = %v", pids)
+	}
+
+	if got := MergeTraces(nil); got == nil || len(got) != 0 {
+		t.Fatalf("empty merge = %v, want empty non-nil slice", got)
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	in := MergeTraces([]TraceFile{{Name: "x", Events: []TraceEvent{{Name: "s", Ph: "X", Tid: 3}}}})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[1].Name != "s" || out[1].Pid != 1 {
+		t.Fatalf("round trip = %+v", out)
+	}
+
+	var empty bytes.Buffer
+	if err := WriteTrace(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrace(empty.Bytes()); err != nil {
+		t.Fatalf("nil events wrote an unparsable trace: %v (%q)", err, empty.String())
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
@@ -21,6 +23,10 @@ import (
 //
 // A full queue rejects submissions with 429 and a Retry-After header;
 // malformed specs get 400; unknown ids get 404.
+//
+// The mux also serves the operational endpoints (/metrics in OpenMetrics
+// text format, /healthz liveness, /readyz backed by Service.Ready) so a
+// single listener covers both the API and its probes.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
@@ -28,6 +34,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	health := obs.NewHealth()
+	health.Set("service", s.Ready)
+	var reg *obs.Registry
+	if s.rec != nil {
+		reg = s.rec.Metrics
+	}
+	obs.RegisterOps(mux, reg, health)
 	return mux
 }
 

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -89,6 +90,11 @@ type Config struct {
 	// its events.jsonl.
 	Rec *obs.Recorder
 
+	// Log receives structured lifecycle events (submit, start, end,
+	// recover, drain), every record carrying the campaign id as a
+	// correlated field. nil discards.
+	Log *slog.Logger
+
 	// flowArmed, when non-nil, observes every campaign flow right after
 	// construction and before the run starts — the test seam used to
 	// interrupt campaigns at exact journal positions.
@@ -124,6 +130,7 @@ type campaign struct {
 type Service struct {
 	cfg Config
 	rec *obs.Recorder
+	log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -154,6 +161,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:        cfg,
 		rec:        cfg.Rec,
+		log:        obs.OrNop(cfg.Log),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		campaigns:  map[string]*campaign{},
@@ -209,6 +217,36 @@ func (s *Service) recover() error {
 	sort.Strings(queued)
 	s.queue = append(resumed, queued...)
 	s.gauge("service.queued").Set(int64(len(s.queue)))
+	for _, id := range resumed {
+		s.log.Info("service: campaign resumed", "campaign", id)
+	}
+	if len(s.queue) > 0 {
+		s.log.Info("service: recovery complete",
+			"resumed", len(resumed), "queued", len(queued))
+	}
+	return nil
+}
+
+// Ready is the daemon's readiness check for /readyz. It fails once
+// Close began draining, when the admission queue is saturated (new
+// submissions would be rejected with 429 anyway), and when the data
+// root is no longer writable (submissions would fail to persist).
+func (s *Service) Ready() error {
+	s.mu.Lock()
+	closed, queued := s.closed, len(s.queue)
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if queued >= s.cfg.MaxQueue {
+		return fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.MaxQueue)
+	}
+	probe, err := os.CreateTemp(s.cfg.DataDir, ".readyz-*")
+	if err != nil {
+		return fmt.Errorf("service: data root not writable: %w", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	return nil
 }
 
@@ -257,6 +295,7 @@ func (s *Service) Submit(spec Spec) (string, error) {
 	s.cond.Signal()
 	s.mu.Unlock()
 	s.rec.Emit("campaign_submitted", map[string]any{"id": id, "unit": spec.Unit})
+	s.log.Info("service: campaign submitted", "campaign", id, "unit", spec.Unit)
 	return id, nil
 }
 
@@ -399,8 +438,10 @@ func (s *Service) Close() {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.log.Info("service: draining")
 	s.baseCancel()
 	s.wg.Wait()
+	s.log.Info("service: drained")
 }
 
 // dispatch pops queued campaigns in FIFO order whenever a running slot
@@ -443,6 +484,7 @@ func (s *Service) runCampaign(c *campaign, ctx context.Context, cancel context.C
 	id := c.st.ID
 	span := s.rec.Span("campaign", id)
 	s.rec.Emit("campaign_start", map[string]any{"id": id, "unit": c.st.Spec.Unit})
+	s.log.Info("service: campaign started", "campaign", id, "unit", c.st.Spec.Unit)
 
 	reports, err := s.executeFlow(c, ctx)
 
@@ -486,6 +528,11 @@ func (s *Service) runCampaign(c *campaign, ctx context.Context, cancel context.C
 	c.mu.Unlock()
 
 	s.rec.Emit("campaign_end", map[string]any{"id": id, "state": state})
+	if err != nil && state == StateFailed {
+		s.log.Warn("service: campaign failed", "campaign", id, "err", err)
+	} else {
+		s.log.Info("service: campaign ended", "campaign", id, "state", state)
+	}
 	span.End()
 
 	s.mu.Lock()
@@ -511,8 +558,10 @@ func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, 
 	defer events.Close()
 
 	// Per-campaign recorder: metrics and trace aggregate into the
-	// service's sinks, progress streams into the campaign's own file.
-	rec := &obs.Recorder{Progress: obs.NewProgress(events)}
+	// service's sinks, progress streams into the campaign's own file,
+	// and Campaign stamps the id onto every chunk span and outbound
+	// farm frame so fleet-wide traces correlate back to this campaign.
+	rec := &obs.Recorder{Progress: obs.NewProgress(events), Campaign: c.st.ID}
 	if s.rec != nil {
 		rec.Metrics = s.rec.Metrics
 		rec.Trace = s.rec.Trace
@@ -520,6 +569,7 @@ func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, 
 
 	cfg := spec.coreConfig(s.cfg.Workers)
 	cfg.Obs = rec
+	cfg.Log = s.log.With("campaign", c.st.ID)
 	cfg.Runner = s.cfg.Runner
 	cfg.RunnerLanes = s.cfg.RunnerLanes
 	cfg.Journal = filepath.Join(c.dir, "flow.journal")

@@ -34,6 +34,12 @@ type Job struct {
 	tmpl      *template.Template // nil = pure defaults
 	seedState uint64             // seed's raw state; rng.New(seedState) reproduces it
 
+	// Trace-correlation identity (read-only after Submit, purely
+	// observational): the owning campaign and the job's batch sequence
+	// number, stamped onto chunk spans and outbound farm frames.
+	campaign string
+	batch    uint64
+
 	// ctx, when non-nil, lets queued chunks abort without simulating. The
 	// job still completes (Wait returns), but with partial counts — the
 	// submitter is expected to notice ctx.Err() and discard them.
@@ -56,11 +62,19 @@ func (j *Job) Wait() *coverage.Counts {
 // chunk is one contiguous shard [lo, hi) of a job's instance indices.
 // Instance i's generator seed depends only on the job's batch seed and i,
 // never on which worker runs it or in which order, so any sharding of a
-// job yields bit-identical aggregates.
+// job yields bit-identical aggregates. id is the process-unique chunk
+// sequence number used for cross-process trace correlation; it plays no
+// part in seeding or merging.
 type chunk struct {
 	job    *Job
 	lo, hi int
+	id     uint64
 }
+
+// chunkSeq issues process-unique chunk IDs. A plain counter (not
+// per-environment) so merged fleet traces never alias two chunks from
+// different environments of the same process.
+var chunkSeq atomic.Uint64
 
 // RemoteChunk is a relocatable chunk description: everything another
 // process needs to reproduce the chunk's simulations bit for bit.
@@ -77,6 +91,16 @@ type RemoteChunk struct {
 	Lo, Hi int
 	// Events is the unit's coverage model size, for response validation.
 	Events int
+
+	// Campaign, Batch and Chunk are the chunk's trace-correlation
+	// identity: the owning campaign ID ("" for standalone runs), the
+	// job's batch sequence number, and the process-unique chunk
+	// sequence number. Purely observational — runners carry them onto
+	// worker-side spans so a merged fleet trace lines up, and no result
+	// bit ever depends on them.
+	Campaign string
+	Batch    uint64
+	Chunk    uint64
 }
 
 // ChunkRunner executes relocated chunks — the seam where a distributed
@@ -199,7 +223,7 @@ func (s *Scheduler) enqueue(j *Job, n int) {
 			hi = n
 		}
 		o.countEnqueue()
-		s.tasks <- chunk{job: j, lo: lo, hi: hi}
+		s.tasks <- chunk{job: j, lo: lo, hi: hi, id: chunkSeq.Add(1)}
 	}
 }
 
@@ -277,6 +301,7 @@ func (s *Scheduler) work(id int) {
 		n := uint64(t.hi - t.lo)
 		if sp != nil {
 			sp.SetArg("instances", n)
+			setTraceIdentity(sp, t)
 			sp.End()
 		}
 		o.busy[id].Add(uint64(dur))
@@ -330,6 +355,9 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 			Lo:       t.lo,
 			Hi:       t.hi,
 			Events:   events,
+			Campaign: t.job.campaign,
+			Batch:    t.job.batch,
+			Chunk:    t.id,
 		}
 		scratch = scratchFor(scratch, events)
 		remote := false
@@ -368,6 +396,7 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 		if sp != nil {
 			sp.SetArg("instances", n)
 			sp.SetArg("remote", remote)
+			setTraceIdentity(sp, t)
 			sp.End()
 		}
 		o.chunkNs.Observe(uint64(dur))
@@ -383,6 +412,17 @@ func (s *Scheduler) remoteWork(lane int, r ChunkRunner) {
 		if completed {
 			o.jobsDone.Inc()
 		}
+	}
+}
+
+// setTraceIdentity stamps the chunk's correlation identity onto its
+// span: the IDs a worker-side span on another host echoes back, so the
+// merged fleet trace lines parent and child up.
+func setTraceIdentity(sp *obs.Span, t chunk) {
+	sp.SetArg("chunk", t.id)
+	sp.SetArg("batch", t.job.batch)
+	if t.job.campaign != "" {
+		sp.SetArg("campaign", t.job.campaign)
 	}
 }
 

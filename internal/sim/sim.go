@@ -57,6 +57,7 @@ type Env struct {
 	sched    *Scheduler
 	plans    *planCache
 	ctx      context.Context // nil = never canceled (SetContext)
+	campaign string          // trace-correlation identity (SetRecorder)
 
 	// Observability handles (nil when disabled; all nil-safe).
 	mBatches   *obs.Counter
@@ -88,6 +89,7 @@ func NewEnv(unit duv.DUV, seed uint64, workers int) *Env {
 // free of clocks and atomics. Instrumentation is purely observational:
 // seeding, sharding, and merge order are identical with it on or off.
 func (e *Env) SetRecorder(rec *obs.Recorder) {
+	e.campaign = rec.CampaignID()
 	e.mBatches = rec.Counter("sim.batches_submitted")
 	e.mInstances = rec.Counter("sim.instances_completed")
 	e.hBatchSize = rec.Histogram("sim.batch_size", obs.SizeBounds())
@@ -191,7 +193,8 @@ func (e *Env) Submit(tmpl *template.Template, n int) (*Job, error) {
 	if err := e.ctxErr(); err != nil {
 		return nil, err
 	}
-	batchSeed := e.seed.SplitIndex(e.batch.Add(1))
+	batchNum := e.batch.Add(1)
+	batchSeed := e.seed.SplitIndex(batchNum)
 	job := &Job{
 		unit:      e.unit,
 		unitName:  e.unitName,
@@ -202,6 +205,8 @@ func (e *Env) Submit(tmpl *template.Template, n int) (*Job, error) {
 		total:     coverage.NewCountsFor(e.unit.Model()),
 		done:      make(chan struct{}),
 		ctx:       e.ctx,
+		campaign:  e.campaign,
+		batch:     batchNum,
 	}
 	if n <= 0 {
 		close(job.done)
@@ -443,7 +448,7 @@ func (e *Env) OpenCorpusJournal(path string, resume bool, simsPerTemplate int, r
 		SimsPerTemplate: simsPerTemplate, Events: e.unit.Model().Size(),
 	}
 	if resume {
-		recs, w, err := journal.Recover(path, rec)
+		recs, w, err := journal.Recover(path, rec, nil)
 		if err != nil {
 			return nil, err
 		}
