@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	cdgd -listen :9777 -data /var/lib/cdgd [-max-running 1] [-max-queue 16]
+//	cdgd -listen :9777 -data /var/lib/cdgd [-max-running 1] [-max-queue 16] \
+//	     [-owner replica-a] [-lease-ttl 10s] [-tenant-weights paid=3,free=1]
+//
+// Several cdgd replicas may share one -data root: campaign ownership is
+// arbitrated by per-campaign leases (internal/lease), so replicas adopt
+// each other's interrupted campaigns — kill -9 included — without ever
+// double-running one. Campaign starts follow weighted fair-share
+// scheduling across tenants (-tenant-weights).
 //
 // API (see internal/service):
 //
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -55,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dataDir := fs.String("data", "", "campaign store directory (required); journals here survive restarts")
 	maxRunning := fs.Int("max-running", 1, "concurrently running campaigns")
 	maxQueue := fs.Int("max-queue", 16, "queued campaigns beyond the running ones; more are rejected with 429")
+	owner := fs.String("owner", "", "replica identity in campaign leases (default hostname-pid); must be unique per live replica on a shared -data root")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "campaign lease TTL; a replica silent this long loses its campaigns to peers")
+	tenantWeights := fs.String("tenant-weights", "", "fair-share weights as name=weight pairs (e.g. paid=3,free=1); unlisted tenants weigh 1")
 	retryAfter := fs.Duration("retry-after", 15*time.Second, "Retry-After hint attached to 429 rejections")
 	workers := fs.Int("workers", 0, "simulation worker goroutines per campaign (<= 0: GOMAXPROCS)")
 	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
@@ -106,14 +117,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
+		return 2
+	}
 	svcCfg := service.Config{
-		DataDir:    *dataDir,
-		MaxRunning: *maxRunning,
-		MaxQueue:   *maxQueue,
-		RetryAfter: *retryAfter,
-		Workers:    *workers,
-		Rec:        sess.Recorder(),
-		Log:        logger,
+		DataDir:       *dataDir,
+		Owner:         *owner,
+		LeaseTTL:      *leaseTTL,
+		TenantWeights: weights,
+		MaxRunning:    *maxRunning,
+		MaxQueue:      *maxQueue,
+		RetryAfter:    *retryAfter,
+		Workers:       *workers,
+		Rec:           sess.Recorder(),
+		Log:           logger,
 	}
 	if *farmAddrs != "" {
 		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto, Log: logger})
@@ -123,6 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		svcCfg.Runner = d
 		svcCfg.RunnerLanes = d.Lanes()
+		// Capacity-aware admission: campaign starts are deferred beyond
+		// the number of live farm connections, so a fleet outage pauses
+		// the queue instead of drowning the daemon in local fallback.
+		svcCfg.Capacity = d.LiveConns
 	}
 	svc, err := service.New(svcCfg)
 	if err != nil {
@@ -140,8 +163,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(stdout, "cdgd: listening on %s (data %s, max-running %d, max-queue %d)\n",
-		ln.Addr(), *dataDir, *maxRunning, *maxQueue)
+	fmt.Fprintf(stdout, "cdgd: listening on %s (data %s, owner %s, max-running %d, max-queue %d)\n",
+		ln.Addr(), *dataDir, svc.Owner(), *maxRunning, *maxQueue)
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -172,4 +195,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "cdgd: drained, exiting")
 	return 0
+}
+
+// parseTenantWeights parses "-tenant-weights paid=3,free=1" into the
+// service's weight map. Empty input yields nil (every tenant weighs 1).
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: malformed pair %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: weight for %q must be a positive number, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("paid=3,free=1")
+	if err != nil || w["paid"] != 3 || w["free"] != 1 {
+		t.Fatalf("parseWeights = %v, %v", w, err)
+	}
+	for _, bad := range []string{"", "paid", "paid=0", "paid=-1", "=3", "paid=x"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Fatalf("parseWeights(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckFairness(t *testing.T) {
+	weights := map[string]float64{"a": 3, "b": 1}
+	tenantOf := map[string]string{}
+	// A perfectly fair start order at weights 3:1 — aaab repeated.
+	var order []string
+	for i := 0; i < 40; i++ {
+		id := string(rune('a'+i%4)) + "x" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		if i%4 == 3 {
+			tenantOf[id] = "b"
+		} else {
+			tenantOf[id] = "a"
+		}
+		order = append(order, id)
+	}
+	if err := checkFairness(order, tenantOf, weights, 10, 0.10, io.Discard); err != nil {
+		t.Fatalf("fair order rejected: %v", err)
+	}
+
+	// A starved tenant must be flagged: all of tenant a first.
+	var unfair []string
+	for _, id := range order {
+		if tenantOf[id] == "a" {
+			unfair = append(unfair, id)
+		}
+	}
+	for _, id := range order {
+		if tenantOf[id] == "b" {
+			unfair = append(unfair, id)
+		}
+	}
+	if err := checkFairness(unfair, tenantOf, weights, 10, 0.10, io.Discard); err == nil {
+		t.Fatal("starved order accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-campaigns", "4"}, &out, &errw); code != 2 {
+		t.Fatalf("missing -cdgd exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-cdgd is required") {
+		t.Fatalf("stderr = %q", errw.String())
+	}
+	errw.Reset()
+	if code := run([]string{"-cdgd", "/bin/true", "-tenants", "a=0"}, &out, &errw); code != 2 {
+		t.Fatalf("bad -tenants exit = %d, want 2", code)
+	}
+}
+
+// TestChaosSmoke is the harness's own end-to-end: two real cdgd
+// replicas over one data root, a saturating two-tenant load, kill -9
+// mid-flight, and every invariant cdgload asserts (liveness, adoption,
+// clean event tails, byte-identical verify). The CI service-scale job
+// runs the same scenario at three replicas via the built binary.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke spawns real daemons; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "cdgd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/cdgd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cdgd: %v\n%s", err, out)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-cdgd", bin,
+		"-replicas", "2",
+		"-campaigns", "24",
+		"-tenants", "paid=3,free=1",
+		"-max-running", "2",
+		"-max-queue", "10",
+		"-lease-ttl", "400ms",
+		"-kills", "2",
+		"-kill-every", "700ms",
+		"-verify", "1",
+		"-fairness-tol", "0", // fairness is pinned deterministically in internal/service
+		"-tails", "2",
+		"-timeout", "4m",
+	}, &stdout, &stderr)
+	t.Logf("cdgload stdout:\n%s", stdout.String())
+	if code != 0 {
+		t.Fatalf("cdgload exit = %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Fatalf("no PASS in output:\n%s", stdout.String())
+	}
+}

@@ -129,6 +129,7 @@ type Dispatcher struct {
 	wg       sync.WaitGroup
 	ready    chan struct{} // closed on the first successful handshake
 	readyOne sync.Once
+	live     atomic.Int64 // established, un-evicted connections
 
 	log     *slog.Logger
 	metrics *obs.Registry // labeled per-connection gauges (nil-safe)
@@ -236,6 +237,18 @@ func New(addrs []string, opts Options) *Dispatcher {
 // while AcquireTimeout keeps lanes from stalling when slots are down.
 func (d *Dispatcher) Lanes() int {
 	return len(d.addrs) * d.opts.MaxConnsPerWorker
+}
+
+// LiveConns reports how many worker connections are established right
+// now — the fleet-capacity signal the campaign service's admission
+// control consumes (a dead fleet reads 0, deferring campaign starts
+// instead of piling them onto local fallback).
+func (d *Dispatcher) LiveConns() int {
+	n := d.live.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
 }
 
 // WaitReady blocks until at least one worker connection has completed
@@ -434,6 +447,7 @@ func (d *Dispatcher) kill(w *wconn) {
 		return
 	}
 	d.mEvicts.Inc()
+	d.live.Add(-1)
 	w.gauge.Add(-1)
 	d.log.Debug("farm: connection evicted", "worker", w.addr, "proto", w.cdc.version)
 	w.conn.Close()
@@ -551,6 +565,7 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 	gauge := d.metrics.GaugeWith("farm.conns",
 		obs.Labels("peer", addr, "proto", fmt.Sprintf("v%d", version)))
 	gauge.Add(1)
+	d.live.Add(1)
 	d.log.Info("farm: connection established",
 		"worker", addr, "remote", conn.RemoteAddr().String(),
 		"proto", version, "capacity", f.Capacity, "build", f.Build)

@@ -1,0 +1,286 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newManager(t *testing.T, owner string, ttl time.Duration) *Manager {
+	t.Helper()
+	m, err := NewManager(Options{Owner: owner, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func campaignDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "c000001")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestAcquireReleaseCycle(t *testing.T) {
+	m := newManager(t, "r1", time.Second)
+	dir := campaignDir(t)
+
+	h, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", h.Epoch())
+	}
+	if h.Stolen() {
+		t.Fatal("fresh acquisition reported as stolen")
+	}
+	if err := h.Check(); err != nil {
+		t.Fatalf("Check on held lease: %v", err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify on held lease: %v", err)
+	}
+	rec, err := Peek(dir)
+	if err != nil || rec == nil {
+		t.Fatalf("Peek = %v, %v", rec, err)
+	}
+	if rec.Owner != "r1" || rec.Epoch != 1 || rec.Released {
+		t.Fatalf("record = %+v", rec)
+	}
+
+	h.Release()
+	rec, err = Peek(dir)
+	if err != nil || rec == nil || !rec.Released {
+		t.Fatalf("after Release: record = %+v, err %v", rec, err)
+	}
+
+	// A released lease is instantly claimable, with a higher epoch.
+	h2, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Epoch() <= h.Epoch() {
+		t.Fatalf("reacquired epoch %d not above released epoch %d", h2.Epoch(), h.Epoch())
+	}
+	h2.Release()
+}
+
+func TestAcquireHeldByLiveOwner(t *testing.T) {
+	m1 := newManager(t, "r1", time.Minute)
+	m2 := newManager(t, "r2", time.Minute)
+	dir := campaignDir(t)
+
+	h, err := m1.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := m2.Acquire(dir, "c000001"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("second owner's Acquire err = %v, want ErrHeld", err)
+	}
+}
+
+// TestStealOnExpiry is the adoption path: a holder that stops renewing
+// (kill -9, stall) loses the campaign after TTL, the thief's epoch
+// fences the original, and the original handle notices via Verify and
+// OnLost.
+func TestStealOnExpiry(t *testing.T) {
+	ttl := 150 * time.Millisecond
+	m1 := newManager(t, "r1", ttl)
+	m2 := newManager(t, "r2", ttl)
+	dir := campaignDir(t)
+
+	h1, err := m1.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make(chan struct{})
+	var once sync.Once
+	h1.OnLost(func() { once.Do(func() { close(lost) }) })
+	h1.Suspend(true) // simulate a stalled replica: lease expires
+
+	// Until expiry the lease is not stealable.
+	if _, err := m2.Acquire(dir, "c000001"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("pre-expiry Acquire err = %v, want ErrHeld", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var h2 *Handle
+	for {
+		h2, err = m2.Acquire(dir, "c000001")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrHeld) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer h2.Release()
+	if !h2.Stolen() {
+		t.Fatal("steal not reported as stolen")
+	}
+	if h2.Epoch() <= h1.Epoch() {
+		t.Fatalf("thief epoch %d not above victim epoch %d", h2.Epoch(), h1.Epoch())
+	}
+
+	// The victim's slow probe fences immediately; its fast probe follows.
+	if err := h1.Verify(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("victim Verify err = %v, want ErrFenced", err)
+	}
+	if err := h1.Check(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("victim Check err = %v, want ErrFenced", err)
+	}
+	select {
+	case <-lost:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnLost never fired")
+	}
+
+	// Releasing a fenced handle must not clobber the thief's record.
+	h1.Release()
+	rec, err := Peek(dir)
+	if err != nil || rec == nil {
+		t.Fatalf("Peek = %v, %v", rec, err)
+	}
+	if rec.Owner != "r2" || rec.Released {
+		t.Fatalf("thief's record clobbered by fenced release: %+v", rec)
+	}
+}
+
+// TestRenewalExtendsLease: a healthy holder's lease stays live well past
+// the TTL because the renewal goroutine keeps pushing RenewedAt.
+func TestRenewalExtendsLease(t *testing.T) {
+	ttl := 120 * time.Millisecond
+	m1 := newManager(t, "r1", ttl)
+	m2 := newManager(t, "r2", ttl)
+	dir := campaignDir(t)
+
+	h, err := m1.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	time.Sleep(3 * ttl)
+	if _, err := m2.Acquire(dir, "c000001"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("renewed lease was stealable after 3x TTL: err = %v", err)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatalf("healthy holder fenced: %v", err)
+	}
+}
+
+// TestConcurrentClaimSingleWinner: many managers racing for one free
+// lease produce exactly one holder per epoch — the O_EXCL arbitration.
+func TestConcurrentClaimSingleWinner(t *testing.T) {
+	dir := campaignDir(t)
+	const racers = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	winners := map[uint64]int{}
+	for i := 0; i < racers; i++ {
+		m := newManager(t, "racer"+string(rune('a'+i)), time.Minute)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := m.Acquire(dir, "c000001")
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			winners[h.Epoch()]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(winners) == 0 {
+		t.Fatal("no racer acquired the free lease")
+	}
+	for epoch, n := range winners {
+		if n != 1 {
+			t.Fatalf("epoch %d acquired by %d racers, want at most 1", epoch, n)
+		}
+	}
+}
+
+// TestEpochMonotonicAcrossCrashedClaims: a claimer that died between
+// creating its guard file and writing its record must not make its
+// epoch reusable.
+func TestEpochMonotonicAcrossCrashedClaims(t *testing.T) {
+	dir := campaignDir(t)
+	// Simulate the half-claim: guard for epoch 7 exists, no record.
+	if err := claimEpoch(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	m := newManager(t, "r1", time.Minute)
+	h, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Epoch() != 8 {
+		t.Fatalf("epoch = %d, want 8 (past the orphaned guard)", h.Epoch())
+	}
+}
+
+func TestManagerCloseReleasesAll(t *testing.T) {
+	m, err := NewManager(Options{Owner: "r1", TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := campaignDir(t)
+	if _, err := m.Acquire(dir, "c000001"); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	rec, err := Peek(dir)
+	if err != nil || rec == nil || !rec.Released {
+		t.Fatalf("after manager Close: record = %+v, err %v", rec, err)
+	}
+	if _, err := m.Acquire(dir, "c000001"); !errors.Is(err, ErrReleased) {
+		t.Fatalf("Acquire after Close err = %v, want ErrReleased", err)
+	}
+}
+
+func TestOwnerSelfReacquire(t *testing.T) {
+	m := newManager(t, "r1", time.Minute)
+	dir := campaignDir(t)
+	h1, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same owner restarting (same identity, dead renewals) may
+	// reclaim its own un-expired lease; the epoch still advances so the
+	// old incarnation's writes are fenced.
+	h2, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h2.Epoch() <= h1.Epoch() {
+		t.Fatalf("self-reacquire epoch %d did not advance past %d", h2.Epoch(), h1.Epoch())
+	}
+	if err := h1.Verify(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old incarnation Verify err = %v, want ErrFenced", err)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(Options{}); err == nil {
+		t.Fatal("empty owner accepted")
+	}
+	if _, err := NewManager(Options{Owner: "bad\"quote"}); err == nil {
+		t.Fatal("owner with quote accepted")
+	}
+}

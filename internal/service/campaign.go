@@ -36,6 +36,11 @@ type Spec struct {
 	// Seed makes the campaign reproducible (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 
+	// Tenant attributes the campaign for weighted fair-share scheduling
+	// and per-tenant metrics (default "default"). Weights come from the
+	// daemon's -tenant-weights configuration; unknown tenants weigh 1.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Config overrides individual flow budgets; zero fields keep the
 	// flow's defaults.
 	Config SpecConfig `json:"config,omitempty"`
@@ -77,6 +82,13 @@ func (s Spec) minSim() float64 {
 	return s.MinSim
 }
 
+func (s Spec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
 func (s Spec) seed() uint64 {
 	if s.Seed == 0 {
 		return 1
@@ -107,6 +119,15 @@ func (s Spec) validate() error {
 	}
 	if modes != 1 {
 		return errors.New("service: spec: exactly one of family, cross or events is required")
+	}
+	if len(s.Tenant) > 64 {
+		return errors.New("service: spec: tenant name too long (max 64)")
+	}
+	for _, r := range s.Tenant {
+		if !(r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return fmt.Errorf("service: spec: invalid tenant name %q", s.Tenant)
+		}
 	}
 	return nil
 }
@@ -144,6 +165,13 @@ type State struct {
 	StartedAt   *time.Time    `json:"started_at,omitempty"`
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Reports     []*ReportJSON `json:"reports,omitempty"`
+
+	// Owner and Epoch identify the replica that last ran (or is
+	// running) the campaign and its lease fencing epoch — set at
+	// dispatch, kept through terminal states so an adopted campaign
+	// records who finished it.
+	Owner string `json:"owner,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 func (st *State) clone() *State {

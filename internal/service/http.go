@@ -20,6 +20,7 @@ import (
 //	GET    /v1/campaigns/{id}        one campaign         → 200 State (reports once done)
 //	GET    /v1/campaigns/{id}/events live JSONL progress  → 200 application/jsonl stream
 //	DELETE /v1/campaigns/{id}        cancel               → 200 State
+//	GET    /v1/scheduler             fair-share snapshot  → 200 SchedulerInfo
 //
 // A full queue rejects submissions with 429 and a Retry-After header;
 // malformed specs get 400; unknown ids get 404.
@@ -34,6 +35,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/scheduler", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Scheduler())
+	})
 	health := obs.NewHealth()
 	health.Set("service", s.Ready)
 	var reg *obs.Registry

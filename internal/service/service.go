@@ -1,7 +1,8 @@
 // Package service is the campaign layer of the AS-CDG system: a
 // long-running daemon core that accepts CDG campaigns, runs them with
-// bounded concurrency, and persists everything so a daemon restart
-// picks up exactly where the previous process died (DESIGN.md §11).
+// bounded concurrency, and persists everything so a daemon restart —
+// or a *peer replica* sharing the same data root — picks up exactly
+// where a dead process left off (DESIGN.md §11, §12).
 //
 // Every campaign owns a directory under Config.DataDir:
 //
@@ -9,12 +10,19 @@
 //	<data>/<id>/flow.journal   the flow's crash-safe journal
 //	<data>/<id>/events.jsonl   the campaign's JSONL progress stream
 //	<data>/<id>/report.json    the final per-round reports, once done
+//	<data>/<id>/lease.json     ownership lease (internal/lease)
 //
 // The flow journal is the resume mechanism: a campaign that was
-// "running" when the daemon stopped is re-enqueued at startup, and
-// core.New recovers the journal, replaying the completed prefix, so
-// the resumed campaign's reports are bit-identical to an uninterrupted
-// run (the invariant internal/chaos sweeps).
+// "running" when its owner died is adopted by whichever replica's
+// janitor first claims the expired lease, and core.New recovers the
+// journal, replaying the completed prefix, so the adopted campaign's
+// reports are bit-identical to an uninterrupted run (the invariant
+// internal/chaos sweeps and cmd/cdgload drives at fleet scale).
+//
+// Scheduling is weighted fair-share rather than FIFO: every Spec
+// carries a tenant, Config.TenantWeights assigns per-tenant weights,
+// and the dispatcher stride-schedules backlogged tenants so campaign
+// starts track the weights whenever the service is saturated.
 package service
 
 import (
@@ -26,6 +34,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -33,6 +42,7 @@ import (
 	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/duv"
+	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -47,6 +57,10 @@ const (
 	StateCanceled = "canceled"
 )
 
+func isTerminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
 // ErrQueueFull rejects a submission when the admission queue is at
 // capacity; the HTTP layer maps it to 429 with a Retry-After hint.
 var ErrQueueFull = errors.New("service: campaign queue full")
@@ -58,8 +72,34 @@ var ErrClosed = errors.New("service: draining")
 // selects the documented default.
 type Config struct {
 	// DataDir is the root of the campaign store (required). Each
-	// campaign gets its own subdirectory.
+	// campaign gets its own subdirectory. Multiple replicas may share
+	// one data root: campaign ownership is arbitrated by leases.
 	DataDir string
+
+	// Owner is this replica's identity in lease records (default
+	// "<hostname>-<pid>"). Must be unique among live replicas sharing
+	// the data root.
+	Owner string
+
+	// LeaseTTL is how long a campaign lease protects its owner without
+	// renewal (default 10s). Shorter TTLs adopt dead replicas' campaigns
+	// faster at the cost of more lease I/O; it also paces the janitor's
+	// data-root rescans (every TTL/2).
+	LeaseTTL time.Duration
+
+	// TenantWeights assigns fair-share weights (default: every tenant
+	// weighs 1). Only ratios matter: {"paid": 3, "free": 1} gives the
+	// paid tenant 3 of every 4 campaign starts under saturation.
+	TenantWeights map[string]float64
+
+	// Capacity, when non-nil, reports how many campaigns the backing
+	// simulation capacity can feed right now; the dispatcher defers
+	// campaign starts beyond min(MaxRunning, Capacity()). cdgd wires it
+	// to the farm dispatcher's live worker count so a fleet outage
+	// pauses admissions instead of piling campaigns onto local
+	// fallback. Must be fast and non-blocking (called under the
+	// service's lock).
+	Capacity func() int
 
 	// MaxRunning bounds concurrently running campaigns (default 1 —
 	// campaigns are multi-phase simulation runs that each saturate the
@@ -84,14 +124,15 @@ type Config struct {
 	Runner      sim.ChunkRunner
 	RunnerLanes int
 
-	// Rec instruments the service (service.* metrics, campaign spans)
-	// and is shared as the Metrics/Trace sink of every campaign flow.
-	// Each campaign additionally gets a private Progress sink writing
-	// its events.jsonl.
+	// Rec instruments the service (service.* metrics — several carry a
+	// tenant label — campaign spans, lease.* metrics) and is shared as
+	// the Metrics/Trace sink of every campaign flow. Each campaign
+	// additionally gets a private Progress sink writing its
+	// events.jsonl.
 	Rec *obs.Recorder
 
 	// Log receives structured lifecycle events (submit, start, end,
-	// recover, drain), every record carrying the campaign id as a
+	// adopt, fence, drain), every record carrying the campaign id as a
 	// correlated field. nil discards.
 	Log *slog.Logger
 
@@ -102,6 +143,16 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Owner == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "cdgd"
+		}
+		c.Owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
 	if c.MaxRunning <= 0 {
 		c.MaxRunning = 1
 	}
@@ -121,34 +172,52 @@ type campaign struct {
 
 	mu             sync.Mutex
 	st             State
-	cancel         context.CancelFunc // non-nil while running
+	lease          *lease.Handle      // non-nil while running locally
+	cancel         context.CancelFunc // non-nil while running locally
 	canceledByUser bool
+	remote         bool          // a live peer replica owns it
 	done           chan struct{} // closed when the campaign leaves the live states
+}
+
+// finishLocked closes the campaign's done channel (idempotently).
+// Caller holds c.mu.
+func (c *campaign) finishLocked() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
 }
 
 // Service runs campaigns. Create with New, stop with Close.
 type Service struct {
-	cfg Config
-	rec *obs.Recorder
-	log *slog.Logger
+	cfg    Config
+	owner  string
+	rec    *obs.Recorder
+	log    *slog.Logger
+	leases *lease.Manager
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	campaigns map[string]*campaign
-	queue     []string // FIFO of queued campaign ids
-	running   int
-	nextID    int
-	closed    bool
+	mu                sync.Mutex
+	cond              *sync.Cond
+	campaigns         map[string]*campaign
+	sched             *fairSched
+	running           int
+	runningByTenant   map[string]int
+	completedByTenant map[string]int
+	nextID            int
+	closed            bool
 
-	wg sync.WaitGroup // dispatcher + running campaigns
+	wg sync.WaitGroup // dispatcher + janitor + running campaigns
 }
 
-// New opens (or creates) the campaign store at cfg.DataDir, re-enqueues
-// every campaign the previous daemon left queued or running — resumed
-// campaigns go first, in submission order — and starts the dispatcher.
+// New opens (or creates) the campaign store at cfg.DataDir, scans it —
+// adopting every claimable campaign the previous owner left queued or
+// running (resumed campaigns first, in submission order) — and starts
+// the dispatcher plus the janitor that keeps adopting peers' orphaned
+// campaigns while the service lives.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
@@ -157,89 +226,301 @@ func New(cfg Config) (*Service, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
+	leases, err := lease.NewManager(lease.Options{
+		Owner: cfg.Owner, TTL: cfg.LeaseTTL, Rec: cfg.Rec, Log: cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		rec:        cfg.Rec,
-		log:        obs.OrNop(cfg.Log),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		campaigns:  map[string]*campaign{},
-		nextID:     1,
+		cfg:               cfg,
+		owner:             cfg.Owner,
+		rec:               cfg.Rec,
+		log:               obs.OrNop(cfg.Log),
+		leases:            leases,
+		baseCtx:           ctx,
+		baseCancel:        cancel,
+		campaigns:         map[string]*campaign{},
+		sched:             newFairSched(cfg.TenantWeights),
+		runningByTenant:   map[string]int{},
+		completedByTenant: map[string]int{},
+		nextID:            1,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	if err := s.recover(); err != nil {
+	if err := s.scan(true); err != nil {
 		cancel()
+		leases.Close()
 		return nil, err
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.dispatch()
+	go s.janitor()
 	return s, nil
 }
 
-// recover loads every persisted campaign and rebuilds the queue:
-// previously-running campaigns first (their journals resume), then the
-// previously-queued ones, both in submission order.
-func (s *Service) recover() error {
+// Owner returns this replica's lease identity.
+func (s *Service) Owner() string { return s.owner }
+
+// scan walks the data root and reconciles it with memory: new
+// directories (peer submissions) are registered, terminal campaigns
+// close their waiters, and live campaigns whose lease is claimable —
+// never leased, released by a draining owner, or expired under a dead
+// one — are (re-)enqueued for this replica to run. Campaigns held by a
+// live peer are tracked as remote, with their on-disk state mirrored.
+//
+// Enqueue order is deterministic: previously-running campaigns first
+// (their journals resume), then queued ones, each sorted by original
+// submission time (ties by id) — directory-walk order never matters.
+// initial is the startup pass, where a scan failure is fatal.
+func (s *Service) scan(initial bool) error {
 	entries, err := os.ReadDir(s.cfg.DataDir)
 	if err != nil {
 		return err
 	}
-	var resumed, queued []string
+	type candidate struct {
+		id string
+		st *State
+	}
+	var adopt []candidate
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
-		dir := filepath.Join(s.cfg.DataDir, e.Name())
+		id := e.Name()
+		dir := filepath.Join(s.cfg.DataDir, id)
+
+		s.mu.Lock()
+		c := s.campaigns[id]
+		inSched := c != nil && s.sched.contains(id)
+		s.mu.Unlock()
+		if c != nil {
+			c.mu.Lock()
+			skip := c.lease != nil || isTerminal(c.st.State) || inSched
+			c.mu.Unlock()
+			if skip {
+				continue // locally active or already settled
+			}
+		}
+
 		st, err := loadState(dir)
 		if err != nil {
-			return fmt.Errorf("service: recovering %s: %w", e.Name(), err)
+			if initial {
+				return fmt.Errorf("service: recovering %s: %w", id, err)
+			}
+			// A peer may be mid-submission (directory exists, state not yet
+			// renamed in); skip and catch it on the next pass.
+			continue
 		}
-		c := &campaign{dir: dir, st: *st, done: make(chan struct{})}
-		switch st.State {
-		case StateRunning:
-			// The previous daemon died (or drained) mid-campaign. The flow
-			// journal holds the completed prefix; re-running replays it.
-			c.st.State = StateQueued
-			resumed = append(resumed, st.ID)
-			s.counter("service.resumed").Inc()
-		case StateQueued:
-			queued = append(queued, st.ID)
-		default:
-			close(c.done)
-		}
-		s.campaigns[st.ID] = c
-		if n := idNumber(st.ID); n >= s.nextID {
+		s.mu.Lock()
+		if n := idNumber(id); n >= s.nextID {
 			s.nextID = n + 1
 		}
+		c = s.campaigns[id]
+		if c == nil {
+			c = &campaign{dir: dir, st: *st, done: make(chan struct{})}
+			s.campaigns[id] = c
+		}
+		s.mu.Unlock()
+
+		if isTerminal(st.State) {
+			c.mu.Lock()
+			if c.lease == nil { // never clobber a local run's view
+				c.st = *st
+				c.finishLocked()
+			}
+			c.mu.Unlock()
+			s.mu.Lock()
+			if s.sched.remove(id) { // a peer canceled it out of our queue
+				s.updateGaugesLocked()
+			}
+			s.mu.Unlock()
+			continue
+		}
+
+		rec, err := lease.Peek(dir)
+		if err != nil {
+			if initial {
+				return fmt.Errorf("service: recovering %s: %w", id, err)
+			}
+			continue
+		}
+		if !s.leases.Claimable(rec) {
+			c.mu.Lock()
+			if c.lease == nil {
+				c.st = *st
+				c.remote = true
+			}
+			c.mu.Unlock()
+			continue
+		}
+		adopt = append(adopt, candidate{id: id, st: st})
 	}
-	sort.Strings(resumed)
-	sort.Strings(queued)
-	s.queue = append(resumed, queued...)
-	s.gauge("service.queued").Set(int64(len(s.queue)))
-	for _, id := range resumed {
-		s.log.Info("service: campaign resumed", "campaign", id)
+
+	// Deterministic enqueue order: resumed first, then queued, each by
+	// (submission time, id).
+	sort.Slice(adopt, func(i, j int) bool {
+		a, b := adopt[i], adopt[j]
+		if (a.st.State == StateRunning) != (b.st.State == StateRunning) {
+			return a.st.State == StateRunning
+		}
+		if !a.st.SubmittedAt.Equal(b.st.SubmittedAt) {
+			return a.st.SubmittedAt.Before(b.st.SubmittedAt)
+		}
+		return a.id < b.id
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
 	}
-	if len(s.queue) > 0 {
-		s.log.Info("service: recovery complete",
-			"resumed", len(resumed), "queued", len(queued))
+	enqueued := 0
+	for _, cand := range adopt {
+		c := s.campaigns[cand.id]
+		if s.sched.contains(cand.id) {
+			continue
+		}
+		c.mu.Lock()
+		racing := c.lease != nil || isTerminal(c.st.State)
+		if !racing {
+			wasRunning := cand.st.State == StateRunning
+			c.st = *cand.st
+			c.st.State = StateQueued // in-memory; on-disk state is untouched until claimed
+			c.remote = false
+			c.mu.Unlock()
+			s.sched.push(cand.st.Spec.tenant(), cand.id)
+			enqueued++
+			if wasRunning {
+				s.counter("service.resumed").Inc()
+				s.log.Info("service: campaign re-enqueued for resume", "campaign", cand.id)
+			} else if !initial {
+				s.log.Debug("service: campaign adopted into queue", "campaign", cand.id)
+			}
+		} else {
+			c.mu.Unlock()
+		}
+	}
+	if enqueued > 0 {
+		s.updateGaugesLocked()
+		s.cond.Broadcast()
+		if initial {
+			s.log.Info("service: recovery complete", "enqueued", enqueued)
+		}
 	}
 	return nil
 }
 
+// janitor periodically rescans the data root (every LeaseTTL/2),
+// adopting campaigns whose owners died or drained, mirroring peer
+// activity, and re-evaluating farm capacity for the dispatcher.
+func (s *Service) janitor() {
+	defer s.wg.Done()
+	interval := s.cfg.LeaseTTL / 2
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		if err := s.scan(false); err != nil {
+			s.log.Warn("service: janitor scan failed", "err", err)
+		}
+		s.mu.Lock()
+		s.updateGaugesLocked()
+		s.cond.Broadcast() // capacity may have changed
+		s.mu.Unlock()
+	}
+}
+
+// capacityLocked is the dispatcher's effective concurrency bound:
+// MaxRunning clamped by the live farm capacity (when configured).
+// Caller holds s.mu.
+func (s *Service) capacityLocked() int {
+	max := s.cfg.MaxRunning
+	if s.cfg.Capacity != nil {
+		if c := s.cfg.Capacity(); c < max {
+			max = c
+		}
+	}
+	if max < 0 {
+		max = 0
+	}
+	return max
+}
+
+// updateGaugesLocked refreshes every queue-shaped gauge: totals,
+// per-tenant labeled series, the capacity clamp, and the autoscaling
+// hint (how many simulation workers the current backlog wants). Caller
+// holds s.mu.
+func (s *Service) updateGaugesLocked() {
+	s.gauge("service.queued").Set(int64(s.sched.len()))
+	s.gauge("service.running").Set(int64(s.running))
+	s.gauge("service.capacity").Set(int64(s.capacityLocked()))
+	s.gauge("service.desired_workers").Set(int64(s.desiredWorkersLocked()))
+	for tenant, n := range s.sched.queuedByTenant() {
+		s.tenantGauge("service.queued", tenant).Set(int64(n))
+	}
+	for tenant, n := range s.runningByTenant {
+		s.tenantGauge("service.running", tenant).Set(int64(n))
+	}
+}
+
+// desiredWorkersLocked is the autoscaling hint: enough simulation
+// workers to feed every running and queued campaign at its configured
+// pool size. Exported as the service.desired_workers gauge and by
+// GET /v1/scheduler. Caller holds s.mu.
+func (s *Service) desiredWorkersLocked() int {
+	per := s.cfg.Workers
+	if per <= 0 {
+		per = runtime.GOMAXPROCS(0)
+	}
+	return (s.running + s.sched.len()) * per
+}
+
 // Ready is the daemon's readiness check for /readyz. It fails once
 // Close began draining, when the admission queue is saturated (new
-// submissions would be rejected with 429 anyway), and when the data
-// root is no longer writable (submissions would fail to persist).
+// submissions would be rejected with 429 anyway), when a locally
+// running campaign has lost its lease (this replica is fenced and must
+// not be routed to until it unwinds), and when the data root is no
+// longer writable (submissions — and lease renewals — would fail).
 func (s *Service) Ready() error {
 	s.mu.Lock()
-	closed, queued := s.closed, len(s.queue)
+	closed, queued := s.closed, s.sched.len()
+	var held []*lease.Handle
+	var heldIDs []string
+	for id, c := range s.campaigns {
+		c.mu.Lock()
+		if c.lease != nil {
+			held = append(held, c.lease)
+			heldIDs = append(heldIDs, id)
+		}
+		c.mu.Unlock()
+	}
 	s.mu.Unlock()
+	var fenced []string
+	for i, h := range held {
+		// Verify (not Check): the slow probe detects a steal even when
+		// the renewal goroutine is wedged — exactly the failure mode a
+		// load balancer needs to see.
+		if h.Verify() != nil {
+			fenced = append(fenced, heldIDs[i])
+		}
+	}
 	if closed {
 		return ErrClosed
 	}
 	if queued >= s.cfg.MaxQueue {
 		return fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.MaxQueue)
+	}
+	if len(fenced) > 0 {
+		sort.Strings(fenced)
+		return fmt.Errorf("service: lost lease on running campaign %s", fenced[0])
 	}
 	probe, err := os.CreateTemp(s.cfg.DataDir, ".readyz-*")
 	if err != nil {
@@ -251,25 +532,41 @@ func (s *Service) Ready() error {
 }
 
 // Submit validates and enqueues a campaign, returning its id. The
-// submission is durable before Submit returns: a daemon restart
-// re-enqueues it.
+// submission is durable before Submit returns: a daemon restart — or
+// any peer replica on the same data root — re-enqueues it. Campaign
+// ids are allocated with an O_EXCL directory create, so concurrent
+// submissions across replicas never collide.
 func (s *Service) Submit(spec Spec) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", err
 	}
+	tenant := spec.tenant()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return "", ErrClosed
 	}
-	if len(s.queue) >= s.cfg.MaxQueue {
+	if s.sched.len() >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		s.counter("service.rejected").Inc()
+		s.tenantCounter("service.rejected", tenant).Inc()
 		return "", fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.MaxQueue)
 	}
-	id := fmt.Sprintf("c%06d", s.nextID)
-	s.nextID++
-	dir := filepath.Join(s.cfg.DataDir, id)
+	var id, dir string
+	for {
+		id = fmt.Sprintf("c%06d", s.nextID)
+		s.nextID++
+		dir = filepath.Join(s.cfg.DataDir, id)
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			s.mu.Unlock()
+			return "", err
+		}
+		// A peer replica allocated this id concurrently; skip past it.
+	}
 	c := &campaign{
 		dir: dir,
 		st: State{
@@ -280,37 +577,52 @@ func (s *Service) Submit(spec Spec) (string, error) {
 		},
 		done: make(chan struct{}),
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.mu.Unlock()
-		return "", err
-	}
 	if err := saveState(dir, &c.st); err != nil {
 		s.mu.Unlock()
 		return "", err
 	}
 	s.campaigns[id] = c
-	s.queue = append(s.queue, id)
+	s.sched.push(tenant, id)
 	s.counter("service.submitted").Inc()
-	s.gauge("service.queued").Set(int64(len(s.queue)))
+	s.tenantCounter("service.submitted", tenant).Inc()
+	s.updateGaugesLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
-	s.rec.Emit("campaign_submitted", map[string]any{"id": id, "unit": spec.Unit})
-	s.log.Info("service: campaign submitted", "campaign", id, "unit", spec.Unit)
+	s.rec.Emit("campaign_submitted", map[string]any{"id": id, "unit": spec.Unit, "tenant": tenant})
+	s.log.Info("service: campaign submitted", "campaign", id, "unit", spec.Unit, "tenant", tenant)
 	return id, nil
 }
 
 // Get returns a snapshot of the campaign's state (reports included once
-// done), or nil if the id is unknown.
+// done), or nil if the id is unknown. For campaigns this replica is not
+// itself running or queueing, the snapshot is refreshed from disk, so
+// any replica serves the fleet-wide truth.
 func (s *Service) Get(id string) *State {
 	s.mu.Lock()
 	c := s.campaigns[id]
+	inSched := c != nil && s.sched.contains(id)
 	s.mu.Unlock()
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
+	local := c.lease != nil || inSched
+	live := !isTerminal(c.st.State)
 	st := c.st.clone()
 	c.mu.Unlock()
+	if live && !local {
+		if dst, err := loadState(c.dir); err == nil {
+			c.mu.Lock()
+			if c.lease == nil { // still not ours
+				c.st = *dst
+				if isTerminal(dst.State) {
+					c.finishLocked()
+				}
+			}
+			st = c.st.clone()
+			c.mu.Unlock()
+		}
+	}
 	if st.State == StateDone && st.Reports == nil {
 		// Terminal reports live on disk, not in memory: load on demand so
 		// a restarted daemon serves old campaigns without caching them.
@@ -322,7 +634,8 @@ func (s *Service) Get(id string) *State {
 }
 
 // List returns every campaign's state snapshot (without reports),
-// sorted by id.
+// sorted by id. Remote campaigns' states are as of the janitor's last
+// scan; Get refreshes an individual campaign on demand.
 func (s *Service) List() []*State {
 	s.mu.Lock()
 	cs := make([]*campaign, 0, len(s.campaigns))
@@ -340,8 +653,45 @@ func (s *Service) List() []*State {
 	return out
 }
 
-// Cancel stops a campaign: a queued one is withdrawn, a running one is
-// interrupted (its journal keeps the completed prefix). Terminal
+// Scheduler returns the fair-share scheduler's live snapshot: this
+// replica's identity, capacity clamps, the autoscaling hint, and
+// per-tenant weights/queue depths/virtual times.
+func (s *Service) Scheduler() SchedulerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := make(map[string]int, len(s.runningByTenant))
+	for k, v := range s.runningByTenant {
+		running[k] = v
+	}
+	return SchedulerInfo{
+		Owner:          s.owner,
+		MaxRunning:     s.cfg.MaxRunning,
+		Capacity:       s.capacityLocked(),
+		Running:        s.running,
+		Queued:         s.sched.len(),
+		DesiredWorkers: s.desiredWorkersLocked(),
+		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+		Tenants:        s.sched.stats(running, s.completedByTenant),
+	}
+}
+
+// SchedulerInfo is GET /v1/scheduler's response body.
+type SchedulerInfo struct {
+	Owner          string       `json:"owner"`
+	MaxRunning     int          `json:"max_running"`
+	Capacity       int          `json:"capacity"`
+	Running        int          `json:"running"`
+	Queued         int          `json:"queued"`
+	DesiredWorkers int          `json:"desired_workers"`
+	LeaseTTLMillis int64        `json:"lease_ttl_ms"`
+	Tenants        []TenantStat `json:"tenants"`
+}
+
+// Cancel stops a campaign: a queued one is withdrawn (arbitrated by a
+// short-lived lease claim, so a peer replica cannot concurrently start
+// it), a locally running one is interrupted (its journal keeps the
+// completed prefix). A campaign running on a peer replica is left
+// untouched — the returned state shows where it runs. Terminal
 // campaigns are left untouched. Returns the post-cancel state, or nil
 // for an unknown id.
 func (s *Service) Cancel(id string) *State {
@@ -351,33 +701,54 @@ func (s *Service) Cancel(id string) *State {
 		s.mu.Unlock()
 		return nil
 	}
+	removed := s.sched.remove(id)
+	if removed {
+		s.updateGaugesLocked()
+	}
+	s.mu.Unlock()
+
 	c.mu.Lock()
-	switch c.st.State {
-	case StateQueued:
-		c.st.State = StateCanceled
-		c.st.FinishedAt = now()
-		saveState(c.dir, &c.st)
-		close(c.done)
-		for i, qid := range s.queue {
-			if qid == id {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
-		s.gauge("service.queued").Set(int64(len(s.queue)))
-		s.counter("service.canceled").Inc()
-	case StateRunning:
+	switch {
+	case isTerminal(c.st.State):
+		// nothing to do
+	case c.cancel != nil:
 		c.canceledByUser = true
 		c.cancel()
+	case removed:
+		// Queued here: claim the lease so no peer can start it while we
+		// write the terminal state.
+		c.mu.Unlock()
+		h, err := s.leases.Acquire(c.dir, id)
+		c.mu.Lock()
+		if err == nil {
+			if dst, lerr := loadState(c.dir); lerr == nil && isTerminal(dst.State) {
+				c.st = *dst // a peer finished it first
+			} else {
+				c.st.State = StateCanceled
+				c.st.FinishedAt = now()
+				saveState(c.dir, &c.st)
+				s.counter("service.canceled").Inc()
+				s.tenantCounter("service.canceled", c.st.Spec.tenant()).Inc()
+			}
+			c.finishLocked()
+			h.Release()
+		}
+	case c.canceledByUser:
+		// claim in flight; the runner observes the flag
+	default:
+		// Remote (or mid-claim by a peer): not cancelable from this
+		// replica.
+		s.log.Info("service: cancel ignored for campaign owned elsewhere", "campaign", id)
 	}
 	st := c.st.clone()
 	c.mu.Unlock()
-	s.mu.Unlock()
 	return st
 }
 
 // Wait blocks until the campaign reaches a terminal state, the context
-// is done, or the id is unknown (returns immediately).
+// is done, or the id is unknown (returns immediately). For campaigns
+// running on peer replicas, termination is observed by the janitor's
+// next scan.
 func (s *Service) Wait(ctx context.Context, id string) {
 	s.mu.Lock()
 	c := s.campaigns[id]
@@ -393,6 +764,8 @@ func (s *Service) Wait(ctx context.Context, id string) {
 
 // EventsPath returns the campaign's JSONL progress file path (the file
 // appears when the campaign starts running), or "" for an unknown id.
+// The path is on the shared data root, so any replica can stream any
+// campaign's events.
 func (s *Service) EventsPath(id string) string {
 	s.mu.Lock()
 	c := s.campaigns[id]
@@ -424,10 +797,11 @@ func (s *Service) Done(id string) bool {
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
 // Close drains the service: no new submissions, running campaigns are
-// interrupted (their journals checkpoint the completed prefix and their
-// state stays "running" on disk so the next daemon resumes them), and
-// queued campaigns stay queued. Blocks until every campaign goroutine
-// has exited.
+// interrupted (their journals checkpoint the completed prefix, their
+// state stays "running" on disk, and their leases are released so the
+// next daemon — or a live peer — adopts them immediately), and queued
+// campaigns stay queued. Blocks until every campaign goroutine has
+// exited.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -441,110 +815,210 @@ func (s *Service) Close() {
 	s.log.Info("service: draining")
 	s.baseCancel()
 	s.wg.Wait()
+	s.leases.Close()
 	s.log.Info("service: drained")
 }
 
-// dispatch pops queued campaigns in FIFO order whenever a running slot
-// is free and spawns their runner goroutines.
+// dispatch pops campaigns in weighted fair-share order whenever a
+// running slot is free within the capacity clamp, claims each one's
+// lease, and spawns its runner goroutine. A campaign whose lease a
+// peer holds is handed over (tracked as remote) without burning the
+// slot.
 func (s *Service) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for !s.closed && (len(s.queue) == 0 || s.running >= s.cfg.MaxRunning) {
+		for !s.closed && (s.sched.len() == 0 || s.running >= s.capacityLocked()) {
 			s.cond.Wait()
 		}
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		id := s.queue[0]
-		s.queue = s.queue[1:]
+		id, tenant, _ := s.sched.pop()
 		c := s.campaigns[id]
 		s.running++
-		s.gauge("service.queued").Set(int64(len(s.queue)))
-		s.gauge("service.running").Set(int64(s.running))
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		c.mu.Lock()
-		c.st.State = StateRunning
-		c.st.StartedAt = now()
-		c.cancel = cancel
-		saveState(c.dir, &c.st)
-		c.mu.Unlock()
-		s.wg.Add(1)
-		go s.runCampaign(c, ctx, cancel)
+		s.runningByTenant[tenant]++
+		s.updateGaugesLocked()
 		s.mu.Unlock()
+
+		if !s.claimAndRun(c, id, tenant) {
+			s.mu.Lock()
+			s.running--
+			s.runningByTenant[tenant]--
+			s.updateGaugesLocked()
+			s.cond.Signal()
+			s.mu.Unlock()
+		}
 	}
 }
 
+// claimAndRun acquires the campaign's lease and launches its runner,
+// reporting whether the running slot was consumed.
+func (s *Service) claimAndRun(c *campaign, id, tenant string) bool {
+	h, err := s.leases.Acquire(c.dir, id)
+	if err != nil {
+		// A peer owns it (or the data root failed): hand it over and let
+		// the janitor keep watching it.
+		c.mu.Lock()
+		if !isTerminal(c.st.State) {
+			c.remote = true
+		}
+		c.mu.Unlock()
+		s.counter("service.lease_conflicts").Inc()
+		s.log.Debug("service: campaign claimed by peer", "campaign", id, "err", err)
+		return false
+	}
+	// Re-read the authoritative state: a peer may have finished or
+	// canceled the campaign while it sat in our queue.
+	if st, err := loadState(c.dir); err == nil && isTerminal(st.State) {
+		c.mu.Lock()
+		c.st = *st
+		c.finishLocked()
+		c.mu.Unlock()
+		h.Release()
+		return false
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	h.OnLost(cancel) // lease loss interrupts the flow at its next checkpoint
+
+	c.mu.Lock()
+	c.st.State = StateRunning
+	c.st.StartedAt = now()
+	c.st.Owner = s.owner
+	c.st.Epoch = h.Epoch()
+	c.lease = h
+	c.cancel = cancel
+	c.remote = false
+	if c.canceledByUser {
+		cancel() // canceled while we were claiming
+	}
+	saveState(c.dir, &c.st)
+	c.mu.Unlock()
+	if h.Stolen() {
+		s.counter("service.adopted").Inc()
+		s.log.Info("service: campaign adopted from expired owner",
+			"campaign", id, "epoch", h.Epoch())
+	}
+	s.wg.Add(1)
+	go s.runCampaign(c, tenant, h, ctx, cancel)
+	return true
+}
+
 // runCampaign executes one campaign to a terminal state (or to an
-// interruption that the next daemon resumes).
-func (s *Service) runCampaign(c *campaign, ctx context.Context, cancel context.CancelFunc) {
+// interruption that the next owner resumes). Every terminal write is
+// fenced by the lease epoch: if ownership was lost mid-run, nothing is
+// written and the campaign is left to its new owner.
+func (s *Service) runCampaign(c *campaign, tenant string, h *lease.Handle, ctx context.Context, cancel context.CancelFunc) {
 	defer s.wg.Done()
 	defer cancel()
 	id := c.st.ID
 	span := s.rec.Span("campaign", id)
-	s.rec.Emit("campaign_start", map[string]any{"id": id, "unit": c.st.Spec.Unit})
-	s.log.Info("service: campaign started", "campaign", id, "unit", c.st.Spec.Unit)
+	s.rec.Emit("campaign_start", map[string]any{
+		"id": id, "unit": c.st.Spec.Unit, "tenant": tenant, "owner": s.owner, "epoch": h.Epoch()})
+	s.log.Info("service: campaign started",
+		"campaign", id, "unit", c.st.Spec.Unit, "tenant", tenant, "epoch", h.Epoch())
 
-	reports, err := s.executeFlow(c, ctx)
+	reports, err := s.executeFlow(c, h, ctx)
 
 	c.mu.Lock()
 	c.cancel = nil
+	c.lease = nil
+	fenced := errors.Is(err, lease.ErrFenced) || (err != nil && h.Check() != nil)
 	interrupted := errors.Is(err, core.ErrInterrupted)
 	byUser := c.canceledByUser
+	var state string
 	switch {
+	case fenced:
+		// A peer owns the campaign now; its journal has everything this
+		// run paid for. Nothing on disk is ours to write. The done
+		// channel stays open until the janitor observes the new owner's
+		// terminal state.
+		c.remote = true
+		state = "fenced"
+		s.counter("service.fenced").Inc()
 	case err == nil:
+		if verr := saveReportsOwned(c.dir, reports, h); verr != nil {
+			if errors.Is(verr, lease.ErrFenced) {
+				c.remote = true
+				state = "fenced"
+				s.counter("service.fenced").Inc()
+				break
+			}
+			c.st.State = StateFailed
+			c.st.Error = verr.Error()
+			c.st.FinishedAt = now()
+			saveStateOwned(c.dir, &c.st, h)
+			c.finishLocked()
+			state = c.st.State
+			s.counter("service.failed").Inc()
+			break
+		}
 		c.st.State = StateDone
 		c.st.FinishedAt = now()
 		c.st.Reports = reports
-		if perr := saveReports(c.dir, reports); perr != nil {
-			c.st.State = StateFailed
-			c.st.Error = perr.Error()
-		}
-		saveState(c.dir, &c.st)
-		close(c.done)
+		saveStateOwned(c.dir, &c.st, h)
+		c.finishLocked()
+		state = c.st.State
 		s.counter("service.completed").Inc()
+		s.tenantCounter("service.completed", tenant).Inc()
 	case interrupted && byUser:
 		c.st.State = StateCanceled
 		c.st.FinishedAt = now()
-		saveState(c.dir, &c.st)
-		close(c.done)
+		saveStateOwned(c.dir, &c.st, h)
+		c.finishLocked()
+		state = c.st.State
 		s.counter("service.canceled").Inc()
+		s.tenantCounter("service.canceled", tenant).Inc()
 	case interrupted:
 		// Daemon drain: the journal holds the completed prefix and the
-		// on-disk state stays "running", which the next daemon's recover
-		// re-enqueues. The in-memory campaign is finished for this
-		// process's lifetime.
-		close(c.done)
+		// on-disk state stays "running"; releasing the lease below lets
+		// any peer adopt it immediately. The in-memory campaign is
+		// finished for this process's lifetime.
+		c.finishLocked()
+		state = c.st.State
 	default:
 		c.st.State = StateFailed
 		c.st.Error = err.Error()
 		c.st.FinishedAt = now()
-		saveState(c.dir, &c.st)
-		close(c.done)
+		saveStateOwned(c.dir, &c.st, h)
+		c.finishLocked()
+		state = c.st.State
 		s.counter("service.failed").Inc()
+		s.tenantCounter("service.failed", tenant).Inc()
 	}
-	state := c.st.State
 	c.mu.Unlock()
+	h.Release()
 
 	s.rec.Emit("campaign_end", map[string]any{"id": id, "state": state})
-	if err != nil && state == StateFailed {
+	switch {
+	case state == "fenced":
+		s.log.Warn("service: campaign fenced (adopted by a peer)", "campaign", id, "epoch", h.Epoch())
+	case err != nil && state == StateFailed:
 		s.log.Warn("service: campaign failed", "campaign", id, "err", err)
-	} else {
+	default:
 		s.log.Info("service: campaign ended", "campaign", id, "state", state)
 	}
 	span.End()
 
 	s.mu.Lock()
 	s.running--
-	s.gauge("service.running").Set(int64(s.running))
+	s.runningByTenant[tenant]--
+	if state == StateDone {
+		s.completedByTenant[tenant]++
+	}
+	s.updateGaugesLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
 }
 
-// executeFlow builds the campaign's journaled flow and runs the
+// executeFlow builds the campaign's journaled flow — with the lease's
+// fencing check wired into every journal append — and runs the
 // requested target, returning the per-round reports.
-func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, error) {
+func (s *Service) executeFlow(c *campaign, h *lease.Handle, ctx context.Context) ([]*ReportJSON, error) {
+	if err := h.Check(); err != nil {
+		return nil, err
+	}
 	spec := c.st.Spec
 	unit, err := duv.New(spec.Unit)
 	if err != nil {
@@ -578,6 +1052,11 @@ func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, 
 		return nil, err
 	}
 	defer flow.Close()
+	// Every journal append from here on carries the fencing epoch: a
+	// stale owner's appends are rejected before any byte hits the file.
+	if cur := flow.Journal(); cur != nil {
+		cur.Writer().SetFence(h.Check)
+	}
 	if s.cfg.flowArmed != nil {
 		s.cfg.flowArmed(c.st.ID, flow)
 	}
@@ -611,6 +1090,23 @@ func (s *Service) executeFlow(c *campaign, ctx context.Context) ([]*ReportJSON, 
 
 func (s *Service) counter(name string) *obs.Counter { return s.rec.Counter(name) }
 func (s *Service) gauge(name string) *obs.Gauge     { return s.rec.Gauge(name) }
+
+// tenantCounter and tenantGauge are the per-tenant labeled series
+// (service.submitted{tenant="x"}, ...). Tenant names are validated at
+// submission, so label cardinality is caller-bounded.
+func (s *Service) tenantCounter(name, tenant string) *obs.Counter {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Metrics.CounterWith(name, obs.Labels("tenant", tenant))
+}
+
+func (s *Service) tenantGauge(name, tenant string) *obs.Gauge {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Metrics.GaugeWith(name, obs.Labels("tenant", tenant))
+}
 
 func now() *time.Time {
 	t := time.Now().UTC()
@@ -654,6 +1150,16 @@ func saveState(dir string, st *State) error {
 	})
 }
 
+// saveStateOwned is saveState behind the lease fence: the write is
+// refused once the handle's epoch is superseded, so a stale owner can
+// never clobber the adopter's lifecycle record.
+func saveStateOwned(dir string, st *State, h *lease.Handle) error {
+	if err := h.Verify(); err != nil {
+		return err
+	}
+	return saveState(dir, st)
+}
+
 func loadReports(dir string) ([]*ReportJSON, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "report.json"))
 	if err != nil {
@@ -672,4 +1178,12 @@ func saveReports(dir string, reports []*ReportJSON) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
 	})
+}
+
+// saveReportsOwned is saveReports behind the lease fence.
+func saveReportsOwned(dir string, reports []*ReportJSON, h *lease.Handle) error {
+	if err := h.Verify(); err != nil {
+		return err
+	}
+	return saveReports(dir, reports)
 }

@@ -44,6 +44,9 @@ func newService(t *testing.T, cfg Config) *Service {
 	if cfg.DataDir == "" {
 		cfg.DataDir = t.TempDir()
 	}
+	if cfg.Owner == "" {
+		cfg.Owner = "replica-test" // fixed identity keeps goldens deterministic
+	}
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
