@@ -30,6 +30,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/failpoint"
 	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/profiling"
@@ -64,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
 	farmProto := fs.Int("proto", 0, "highest farm wire protocol to negotiate (0: highest supported; 1 forces JSON frames)")
+	farmRetry := fs.String("farm-retry", "", "farm retry/backoff tuning: base=50ms,cap=2s,attempts=3,jitter=0.25 (keys optional)")
+	hedge := fs.Float64("hedge", 0, "hedge straggling farm chunks after this multiple of the fleet p95 latency (0 disables)")
+	auditFraction := fs.Float64("audit-fraction", 0, "re-execute this fraction of remote chunk results locally and cross-check them (0 disables, 1 audits everything)")
+	failpoints := fs.String("failpoints", os.Getenv("ASCDG_FAILPOINTS"), "arm fault-injection points: name=policy[:rate[:times]],... (policies: error, delay(d), corrupt, drop, panic; seed=N reseeds)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -88,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(stderr, "ascdg: -resume requires -journal")
+		return 2
+	}
+	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
 		return 2
 	}
 	unit, err := duv.New(*unitName)
@@ -139,7 +148,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Obs:                   sess.Recorder(),
 	}
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto})
+		fopts := farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto,
+			Hedge: *hedge, AuditFraction: *auditFraction}
+		if err := fopts.ApplyRetrySpec(*farmRetry); err != nil {
+			fmt.Fprintf(stderr, "ascdg: %v\n", err)
+			return 2
+		}
+		d := farm.New(strings.Split(*farmAddrs, ","), fopts)
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(stderr, "ascdg: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)

@@ -46,6 +46,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/failpoint"
 	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -70,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "simulation worker goroutines per campaign (<= 0: GOMAXPROCS)")
 	farmAddrs := fs.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
 	farmProto := fs.Int("proto", 0, "highest farm wire protocol to negotiate (0: highest supported; 1 forces JSON frames)")
+	farmRetry := fs.String("farm-retry", "", "farm retry/backoff tuning as key=value pairs: base=50ms,cap=2s,attempts=3,jitter=0.25")
+	hedge := fs.Float64("hedge", 0, "hedge straggling farm chunks after this multiple of the fleet p95 latency (0: off)")
+	auditFraction := fs.Float64("audit-fraction", 0, "fraction of remote chunk results re-executed locally and cross-checked (0: off, 1: all)")
+	failpoints := fs.String("failpoints", os.Getenv("ASCDG_FAILPOINTS"), "arm fault-injection points, e.g. farm/dial=error:0.5,journal/append=delay(5ms) (default $ASCDG_FAILPOINTS)")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the daemon's lifetime to this file (view in Perfetto)")
 	progress := fs.Bool("progress", false, "stream the service's own JSONL events (submissions, campaign starts/ends) to stderr")
 	metrics := fs.Bool("metrics", false, "print a final metrics summary to stderr at exit")
@@ -86,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *dataDir == "" {
 		fmt.Fprintln(stderr, "cdgd: -data is required")
+		return 2
+	}
+	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(stderr, "cdgd: %v\n", err)
 		return 2
 	}
 
@@ -134,8 +143,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rec:           sess.Recorder(),
 		Log:           logger,
 	}
+	var farmBanner string
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto, Log: logger})
+		fopts := farm.Options{
+			Rec: sess.Recorder(), MaxVersion: *farmProto, Log: logger,
+			Hedge: *hedge, AuditFraction: *auditFraction,
+		}
+		if err := fopts.ApplyRetrySpec(*farmRetry); err != nil {
+			fmt.Fprintf(stderr, "cdgd: %v\n", err)
+			return 2
+		}
+		d := farm.New(strings.Split(*farmAddrs, ","), fopts)
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(stderr, "cdgd: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)
@@ -146,6 +164,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// the number of live farm connections, so a fleet outage pauses
 		// the queue instead of drowning the daemon in local fallback.
 		svcCfg.Capacity = d.LiveConns
+		// Worker health (quarantine state, latency, error rates) joins
+		// the /v1/scheduler introspection payload.
+		svcCfg.FarmHealth = d.Health
+		farmBanner = fmt.Sprintf(", farm retry %s", fopts.RetryString())
 	}
 	svc, err := service.New(svcCfg)
 	if err != nil {
@@ -163,8 +185,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(stdout, "cdgd: listening on %s (data %s, owner %s, max-running %d, max-queue %d)\n",
-		ln.Addr(), *dataDir, svc.Owner(), *maxRunning, *maxQueue)
+	fmt.Fprintf(stdout, "cdgd: listening on %s (data %s, owner %s, max-running %d, max-queue %d%s)\n",
+		ln.Addr(), *dataDir, svc.Owner(), *maxRunning, *maxQueue, farmBanner)
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

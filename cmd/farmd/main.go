@@ -30,6 +30,7 @@ import (
 	_ "repro/internal/duv/iounit"
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
+	"repro/internal/failpoint"
 	"repro/internal/farm"
 	"repro/internal/obs"
 )
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/metrics, /debug/pprof and the ops endpoints (/metrics, /healthz, /readyz) on this address while running")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	failpoints := fs.String("failpoints", os.Getenv("ASCDG_FAILPOINTS"), "arm fault-injection points, e.g. farm/serve_chunk=corrupt:0.1 (default $ASCDG_FAILPOINTS)")
 	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *version {
 		fmt.Fprintln(stdout, buildinfo.String("farmd"))
 		return 0
+	}
+	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(stderr, "farmd: %v\n", err)
+		return 2
 	}
 
 	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
@@ -107,6 +113,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	health.Set("sessions", srv.Ready)
 	fmt.Fprintf(stdout, "farmd: listening on %s (capacity %d, protocol <= v%d, %s)\n",
 		ln.Addr(), srv.Capacity(), srv.MaxVersion(), buildinfo.Read().Short())
+	if armed := failpoint.Default.Snapshot(); len(armed) > 0 {
+		fmt.Fprintf(stdout, "farmd: FAULT INJECTION ARMED: %d failpoint(s) active — not for production\n", len(armed))
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/failpoint"
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/profiling"
@@ -40,6 +41,10 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	farmAddrs := flag.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
 	farmProto := flag.Int("proto", 0, "highest farm wire protocol to negotiate (0: highest supported; 1 forces JSON frames)")
+	farmRetry := flag.String("farm-retry", "", "farm retry/backoff tuning: base=50ms,cap=2s,attempts=3,jitter=0.25 (keys optional)")
+	hedge := flag.Float64("hedge", 0, "hedge straggling farm chunks after this multiple of the fleet p95 latency (0 disables)")
+	auditFraction := flag.Float64("audit-fraction", 0, "re-execute this fraction of remote chunk results locally and cross-check them (0 disables, 1 audits everything)")
+	failpoints := flag.String("failpoints", os.Getenv("ASCDG_FAILPOINTS"), "arm fault-injection points: name=policy[:rate[:times]],... (policies: error, delay(d), corrupt, drop, panic; seed=N reseeds)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -56,6 +61,10 @@ func main() {
 	}
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "repro: -resume requires -journal")
+		os.Exit(2)
+	}
+	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -97,7 +106,13 @@ func main() {
 		Obs: sess.Recorder(), Ctx: ctx, JournalDir: *journalDir, Resume: *resume,
 	}
 	if *farmAddrs != "" {
-		d := farm.New(strings.Split(*farmAddrs, ","), farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto})
+		fopts := farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto,
+			Hedge: *hedge, AuditFraction: *auditFraction}
+		if err := fopts.ApplyRetrySpec(*farmRetry); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(2)
+		}
+		d := farm.New(strings.Split(*farmAddrs, ","), fopts)
 		defer d.Close()
 		if err := d.WaitReady(5 * time.Second); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: farm: no worker reachable yet (%v); continuing, chunks fall back to local execution\n", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"math/rand"
 	"net"
@@ -13,6 +14,8 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/coverage"
+	"repro/internal/duv"
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -49,6 +52,10 @@ type Options struct {
 	// backoff. <= 0: 50ms / 2s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BackoffJitter is the ± jitter fraction applied to every backoff
+	// step, in [0, 1]. 0 selects the default 0.25; negative disables
+	// jitter entirely (deterministic backoff, for tests).
+	BackoffJitter float64
 	// MaxConnsPerWorker caps connections per address; the effective
 	// count is min(cap, worker's advertised capacity). <= 0: 8.
 	MaxConnsPerWorker int
@@ -58,6 +65,28 @@ type Options struct {
 	// against v2-capable workers. Each connection uses the minimum of
 	// this and the worker's own maximum.
 	MaxVersion int
+	// Hedge, when > 0, enables hedged chunk execution: an exchange
+	// still in flight after Hedge × the fleet's recent p95 exchange
+	// latency is duplicated on the healthiest idle connection of a
+	// different worker. The first result wins (the loser is canceled
+	// and its connection evicted), and the scheduler's exactly-once
+	// merge is preserved, so reports stay bit-identical — hedging only
+	// caps tail latency. 1.5–3 are sensible values; the -hedge flag.
+	Hedge float64
+	// AuditFraction, in [0, 1], samples this fraction of successful
+	// remote results for an integrity audit: the chunk is re-executed
+	// locally (chunks are deterministic functions of their seed and
+	// range) and the two digests cross-checked. A mismatch merges the
+	// local ground truth, discards the remote result, and quarantines
+	// the worker permanently. 0 disables; the -audit-fraction flag.
+	AuditFraction float64
+	// Health tunes worker health scoring and the quarantine breaker.
+	Health HealthOptions
+	// FP is the failpoint registry consulted at the dispatcher's
+	// injection points (farm/dial, farm/handshake, farm/rpc_write,
+	// farm/rpc_read). nil selects failpoint.Default — disarmed in
+	// production, so the points cost one atomic load each.
+	FP *failpoint.Registry
 	// Dial opens a transport to a worker address. nil: TCP. The
 	// fault-injection loopback substitutes its own.
 	Dial func(addr string) (net.Conn, error)
@@ -93,15 +122,41 @@ func (o *Options) setDefaults() {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 2 * time.Second
 	}
+	if o.BackoffJitter == 0 {
+		o.BackoffJitter = 0.25
+	}
+	if o.BackoffJitter > 1 {
+		o.BackoffJitter = 1
+	}
 	if o.MaxConnsPerWorker <= 0 {
 		o.MaxConnsPerWorker = 8
 	}
+	if o.Hedge < 0 {
+		o.Hedge = 0
+	}
+	if o.AuditFraction < 0 {
+		o.AuditFraction = 0
+	}
+	if o.AuditFraction > 1 {
+		o.AuditFraction = 1
+	}
 	o.MaxVersion = clampMaxVersion(o.MaxVersion)
+	if o.FP == nil {
+		o.FP = failpoint.Default
+	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		}
 	}
+}
+
+// jitter is the effective backoff jitter fraction (negative disables).
+func (o *Options) jitter() float64 {
+	if o.BackoffJitter < 0 {
+		return 0
+	}
+	return o.BackoffJitter
 }
 
 // Dispatcher hands scheduler chunks to a fleet of farm workers. It
@@ -119,6 +174,13 @@ func (o *Options) setDefaults() {
 // after Attempts tries; combined with the scheduler's exactly-once
 // merge, a chunk is never lost and never double-counted, whatever the
 // failure pattern.
+//
+// Beyond crash failures, the dispatcher defends against workers that
+// are merely slow, flappy, or wrong: every exchange outcome feeds a
+// per-worker health score whose circuit breaker quarantines bad workers
+// (health.go), stragglers can be hedged onto a healthier lane (Hedge),
+// and sampled results can be audited against local ground truth
+// (AuditFraction) — a provably wrong worker is quarantined permanently.
 type Dispatcher struct {
 	opts  Options
 	addrs []string
@@ -133,21 +195,36 @@ type Dispatcher struct {
 
 	log     *slog.Logger
 	metrics *obs.Registry // labeled per-connection gauges (nil-safe)
+	fp      *failpoint.Registry
+	health  *healthSet // nil when Health.Disable
+
+	// Audit state: a sampling RNG plus lazily built local environments,
+	// one per unit (mirroring the server's), shared by every auditing
+	// lane under auditMu. Audits are sampled, so the serialization is
+	// off the common path.
+	auditMu   sync.Mutex
+	auditRng  *rand.Rand
+	auditEnvs map[string]*sim.Env
 
 	// Metric handles (all nil-safe).
-	mDials     *obs.Counter
-	mDialFails *obs.Counter
-	mChunks    *obs.Counter
-	mErrors    *obs.Counter
-	mRetries   *obs.Counter
-	mEvicts    *obs.Counter
-	mCanceled  *obs.Counter
-	mInflight  *obs.Gauge
-	mProto     *obs.Gauge
-	mConnsV1   *obs.Counter
-	mConnsV2   *obs.Counter
-	hRPCNs     *obs.Histogram
-	tracer     *obs.Tracer
+	mDials      *obs.Counter
+	mDialFails  *obs.Counter
+	mChunks     *obs.Counter
+	mErrors     *obs.Counter
+	mRetries    *obs.Counter
+	mEvicts     *obs.Counter
+	mCanceled   *obs.Counter
+	mInflight   *obs.Gauge
+	mProto      *obs.Gauge
+	mConnsV1    *obs.Counter
+	mConnsV2    *obs.Counter
+	mHedges     *obs.Counter
+	mHedgeWins  *obs.Counter
+	mHedgedSims *obs.Counter
+	mAudits     *obs.Counter
+	mMismatches *obs.Counter
+	hRPCNs      *obs.Histogram
+	tracer      *obs.Tracer
 }
 
 // ctxDone returns the configured context's done channel (nil — blocking
@@ -178,6 +255,11 @@ type wconn struct {
 	dead    atomic.Bool
 	broken  chan struct{} // closed by kill; wakes the keeper to redial
 
+	// hedgeCanceled marks an in-flight exchange deliberately canceled
+	// because the hedged duplicate won; its failure is expected and must
+	// not count against the worker's health score.
+	hedgeCanceled atomic.Bool
+
 	// cdc speaks the version negotiated for this connection; its
 	// grow-once buffers plus the reusable read frame rf (whose Hits
 	// capacity is retained across results) make the steady-state
@@ -205,6 +287,12 @@ func New(addrs []string, opts Options) *Dispatcher {
 		ready:  make(chan struct{}),
 	}
 	d.log = obs.OrNop(opts.Log)
+	d.fp = opts.FP
+	d.health = newHealthSet(opts.Health, addrs, opts.Rec, d.log)
+	if opts.AuditFraction > 0 {
+		d.auditRng = rand.New(rand.NewSource(rand.Int63()))
+		d.auditEnvs = map[string]*sim.Env{}
+	}
 	if rec := opts.Rec; rec != nil {
 		d.metrics = rec.Metrics
 		d.mDials = rec.Counter("farm.dials")
@@ -218,6 +306,11 @@ func New(addrs []string, opts Options) *Dispatcher {
 		d.mProto = rec.Gauge("farm.proto_version")
 		d.mConnsV1 = rec.Counter("farm.conns_v1")
 		d.mConnsV2 = rec.Counter("farm.conns_v2")
+		d.mHedges = rec.Counter("farm.hedges")
+		d.mHedgeWins = rec.Counter("farm.hedge_wins")
+		d.mHedgedSims = rec.Counter("farm.hedged_sims")
+		d.mAudits = rec.Counter("farm.audits")
+		d.mMismatches = rec.Counter("farm.audit_mismatches")
 		d.hRPCNs = rec.Histogram("farm.rpc_ns", obs.LatencyBounds())
 		d.tracer = rec.Trace
 	}
@@ -249,6 +342,13 @@ func (d *Dispatcher) LiveConns() int {
 		n = 0
 	}
 	return int(n)
+}
+
+// Health returns a point-in-time snapshot of every worker's health
+// score and quarantine state, sorted by address — the farm section of
+// GET /v1/scheduler. nil when health scoring is disabled.
+func (d *Dispatcher) Health() []WorkerHealth {
+	return d.health.snapshot()
 }
 
 // WaitReady blocks until at least one worker connection has completed
@@ -300,7 +400,7 @@ func (d *Dispatcher) RunChunkInto(c sim.RemoteChunk, dst *coverage.Counts) error
 	for attempt := 0; attempt < d.opts.Attempts; attempt++ {
 		if attempt > 0 {
 			d.mRetries.Inc()
-			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, attempt-1))
+			d.sleep(d.backoff(attempt - 1))
 		}
 		if err := d.ctxErr(); err != nil {
 			d.mCanceled.Inc()
@@ -326,26 +426,312 @@ func (d *Dispatcher) RunChunkInto(c sim.RemoteChunk, dst *coverage.Counts) error
 			return err
 		}
 		d.mInflight.Add(1)
-		err := d.exchange(w, c, dst)
+		err := d.runAttempt(w, c, dst)
 		d.mInflight.Add(-1)
 		if err == nil {
 			d.mChunks.Inc()
-			d.put(w)
 			return nil
 		}
 		lastErr = err
 		d.mErrors.Inc()
-		d.kill(w)
 	}
 	return lastErr
 }
 
+// runAttempt runs one chunk attempt on an acquired connection, owning
+// its lifecycle from here: on success the validated result is merged
+// into dst exactly once (after an optional integrity audit) and the
+// connection pooled; on failure the connection is evicted. When hedging
+// is armed and warmed up, a straggling exchange is duplicated on a
+// second worker with first-result-wins semantics.
+func (d *Dispatcher) runAttempt(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) error {
+	budget := d.hedgeBudget()
+	if budget <= 0 {
+		dur, err := d.exchange(w, c)
+		if err != nil {
+			d.score(w, 0, false)
+			d.kill(w)
+			return err
+		}
+		d.score(w, dur, true)
+		d.deliver(w, c, dst)
+		return nil
+	}
+	return d.runHedged(w, c, dst, budget)
+}
+
+// runHedged is runAttempt's hedging variant: the primary exchange gets
+// the latency budget; past it, a duplicate launches on the healthiest
+// idle connection of a different worker. The first successful result is
+// merged (exactly once — the loser's duplicate result is discarded, so
+// reports stay bit-identical) and the losing exchange is canceled by
+// expiring its read deadline, bounding the duplicated work.
+func (d *Dispatcher) runHedged(w *wconn, c sim.RemoteChunk, dst *coverage.Counts, budget time.Duration) error {
+	type result struct {
+		w   *wconn
+		dur time.Duration
+		err error
+	}
+	resc := make(chan result, 2)
+	launch := func(conn *wconn) {
+		go func() {
+			dur, err := d.exchange(conn, c)
+			resc <- result{conn, dur, err}
+		}()
+	}
+	launch(w)
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	var second *wconn
+	var lastErr error
+	outstanding := 1
+	delivered := false
+	for outstanding > 0 {
+		select {
+		case r := <-resc:
+			outstanding--
+			if r.err != nil {
+				if !r.w.hedgeCanceled.Load() {
+					d.score(r.w, 0, false)
+				}
+				d.kill(r.w)
+				lastErr = r.err
+				continue
+			}
+			d.score(r.w, r.dur, true)
+			if delivered {
+				// The loser finished anyway: discard its duplicate result —
+				// the chunk was already merged exactly once.
+				r.w.hedgeCanceled.Store(false)
+				d.put(r.w)
+				continue
+			}
+			delivered = true
+			if second != nil && r.w == second {
+				d.mHedgeWins.Inc()
+			}
+			// First result wins: cancel the other in-flight exchange by
+			// expiring its read deadline. It errors out promptly and its
+			// connection is evicted; the keeper redials.
+			other := second
+			if r.w == second {
+				other = w
+			}
+			if other != nil {
+				other.hedgeCanceled.Store(true)
+				other.conn.SetReadDeadline(time.Now())
+			}
+			d.deliver(r.w, c, dst)
+		case <-timer.C:
+			if delivered || second != nil {
+				continue
+			}
+			if w2 := d.acquireHedge(w.addr); w2 != nil {
+				second = w2
+				outstanding++
+				d.mHedges.Inc()
+				d.mHedgedSims.Add(uint64(c.Hi - c.Lo))
+				d.log.Debug("farm: hedging straggling chunk",
+					"worker", w.addr, "hedge_worker", w2.addr,
+					"budget", budget, "campaign", c.Campaign, "batch", c.Batch, "chunk", c.Chunk)
+				launch(second)
+			}
+		}
+	}
+	if delivered {
+		return nil
+	}
+	return lastErr
+}
+
+// hedgeBudget is the straggler threshold: Hedge × the fleet's recent
+// p95 exchange latency, 0 while hedging is off or still warming up.
+func (d *Dispatcher) hedgeBudget() time.Duration {
+	if d.opts.Hedge <= 0 {
+		return 0
+	}
+	p95 := d.health.latencyP95()
+	if p95 <= 0 {
+		return 0
+	}
+	b := time.Duration(d.opts.Hedge * float64(p95))
+	if b < time.Millisecond {
+		b = time.Millisecond
+	}
+	return b
+}
+
+// acquireHedge non-blockingly picks the healthiest idle connection on a
+// worker other than exclude. Unsuitable connections go straight back to
+// the pool; nil means no hedge lane is available (the hedge is simply
+// skipped).
+func (d *Dispatcher) acquireHedge(exclude string) *wconn {
+	var best *wconn
+	var rejected []*wconn
+	for {
+		var w *wconn
+		select {
+		case w = <-d.idle:
+		default:
+		}
+		if w == nil {
+			break
+		}
+		if w.dead.Load() {
+			continue
+		}
+		if w.addr == exclude || !d.health.allowed(w.addr) {
+			rejected = append(rejected, w)
+			continue
+		}
+		switch {
+		case best == nil:
+			best = w
+		case d.health.better(w.addr, best.addr):
+			rejected = append(rejected, best)
+			best = w
+		default:
+			rejected = append(rejected, w)
+		}
+	}
+	for _, w := range rejected {
+		d.put(w)
+	}
+	return best
+}
+
+// score feeds one exchange outcome to the health breaker and evicts the
+// connections of a worker the breaker just quarantined.
+func (d *Dispatcher) score(w *wconn, dur time.Duration, ok bool) {
+	for _, victim := range d.health.outcome(w.addr, dur, ok) {
+		d.kill(victim)
+	}
+}
+
+// deliver merges the validated result an exchange left in w.rf into dst
+// exactly once and returns the connection to the pool. When audit
+// sampling selects the chunk, the result is cross-checked against a
+// local re-execution first: on a mismatch the local ground truth is
+// merged instead, the remote result is discarded, and the worker is
+// quarantined permanently.
+func (d *Dispatcher) deliver(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) {
+	if d.shouldAudit() && !d.audit(w, c, dst) {
+		return // mismatch: local counts merged, connection evicted
+	}
+	dst.AddRaw(w.rf.Hits, w.rf.Sims)
+	d.put(w)
+}
+
+// shouldAudit samples AuditFraction of delivered chunks.
+func (d *Dispatcher) shouldAudit() bool {
+	f := d.opts.AuditFraction
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	d.auditMu.Lock()
+	hit := d.auditRng.Float64() < f
+	d.auditMu.Unlock()
+	return hit
+}
+
+// audit re-executes the chunk locally and cross-checks the remote
+// result in w.rf. It reports true when the remote result is verified
+// (the caller merges it). On a mismatch it merges the local ground
+// truth into dst, quarantines the worker permanently, evicts its
+// connections, and reports false. Audit infrastructure failures
+// (unknown unit, local run error) accept the remote result — the audit
+// is an opportunistic cross-check, not a gate.
+func (d *Dispatcher) audit(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) bool {
+	local, err := d.auditRun(c)
+	if err != nil {
+		d.log.Warn("farm: audit re-execution failed; accepting remote result",
+			"worker", w.addr, "unit", c.Unit, "err", err)
+		return true
+	}
+	d.mAudits.Inc()
+	hits, sims := local.Raw()
+	if sims == w.rf.Sims && equalHits(hits, w.rf.Hits) {
+		return true
+	}
+	d.mMismatches.Inc()
+	d.log.Warn("farm: result integrity audit mismatch; quarantining worker",
+		"worker", w.addr, "campaign", c.Campaign, "batch", c.Batch, "chunk", c.Chunk,
+		"remote_digest", chunkDigest(w.rf.Hits, w.rf.Sims),
+		"local_digest", chunkDigest(hits, sims))
+	for _, victim := range d.health.integrityFailure(w.addr) {
+		d.kill(victim)
+	}
+	d.kill(w) // idempotent: integrityFailure's sweep usually got it
+	dst.AddRaw(hits, sims)
+	return false
+}
+
+// auditRun re-executes a chunk on a local, lazily built environment for
+// its unit — the dispatcher-side twin of the server's env map. Chunks
+// are pure functions of (template, seed, range), so the local run is
+// ground truth.
+func (d *Dispatcher) auditRun(c sim.RemoteChunk) (*coverage.Counts, error) {
+	d.auditMu.Lock()
+	defer d.auditMu.Unlock()
+	env, ok := d.auditEnvs[c.Unit]
+	if !ok {
+		u, err := duv.New(c.Unit)
+		if err != nil {
+			return nil, err
+		}
+		env = sim.NewEnv(u, 1, 1) // seed irrelevant: the chunk carries its own
+		d.auditEnvs[c.Unit] = env
+	}
+	counts := coverage.NewCounts(c.Events)
+	if err := env.RunChunkInto(c.Template, c.Seed, c.Lo, c.Hi, counts); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// equalHits compares two dense hit arrays.
+func equalHits(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkDigest is a short FNV-1a fingerprint of a chunk result, for
+// audit-mismatch logs.
+func chunkDigest(hits []uint64, sims uint64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range hits {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(sims >> (8 * i))
+	}
+	h.Write(buf[:])
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // exchange performs one chunk RPC on a connection the caller owns,
-// under the per-chunk deadline. Stale frames (duplicated results from
-// a flaky transport, late heartbeat replies) are skipped by correlation
-// ID, so a noisy connection either yields the right answer or an error
-// — never a mismatched one.
-func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) error {
+// under the per-chunk deadline, leaving the validated result in w.rf
+// for the caller to merge (exactly once, possibly after an audit).
+// Stale frames (duplicated results from a flaky transport, late
+// heartbeat replies) are skipped by correlation ID, so a noisy
+// connection either yields the right answer or an error — never a
+// mismatched one. Returns the exchange's wall-clock duration for health
+// scoring.
+func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk) (time.Duration, error) {
 	sp := d.tracer.Span("farm", "rpc")
 	if sp != nil {
 		sp = sp.WithTid(200 + w.addrIdx)
@@ -358,8 +744,9 @@ func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts)
 		}
 	}
 	start := time.Now()
-	err := d.exchange1(w, c, dst)
-	d.hRPCNs.Observe(uint64(time.Since(start)))
+	err := d.exchange1(w, c)
+	dur := time.Since(start)
+	d.hRPCNs.Observe(uint64(dur))
 	if sp != nil {
 		sp.SetArg("ok", err == nil)
 		sp.End()
@@ -369,10 +756,13 @@ func (d *Dispatcher) exchange(w *wconn, c sim.RemoteChunk, dst *coverage.Counts)
 			"worker", w.addr, "proto", w.cdc.version,
 			"campaign", c.Campaign, "batch", c.Batch, "chunk", c.Chunk, "err", err)
 	}
-	return err
+	return dur, err
 }
 
-func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk, dst *coverage.Counts) error {
+func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk) error {
+	if err := d.fp.Eval("farm/rpc_write"); err != nil {
+		return err
+	}
 	w.conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
 	defer w.conn.SetDeadline(time.Time{})
 	id := w.nextID
@@ -397,13 +787,19 @@ func (d *Dispatcher) exchange1(w *wconn, c sim.RemoteChunk, dst *coverage.Counts
 			return fmt.Errorf("farm: worker %s: malformed result (%d events/%d sims, want %d/%d)",
 				w.addr, len(f.Hits), f.Sims, c.Events, n)
 		}
-		dst.AddRaw(f.Hits, f.Sims)
+		// The corrupt policy here simulates a byzantine worker from the
+		// dispatcher's own vantage point: the mutated hits pass framing
+		// and shape validation and only the integrity audit can tell.
+		if err := d.fp.Uints("farm/rpc_read", f.Hits); err != nil {
+			return err
+		}
 		return nil
 	}
 }
 
 // acquire pulls an idle connection, skipping any that died while
-// pooled. nil means no connection within AcquireTimeout (or closed).
+// pooled and evicting connections of quarantined workers. nil means no
+// connection within AcquireTimeout (or closed).
 func (d *Dispatcher) acquire() *wconn {
 	deadline := time.NewTimer(d.opts.AcquireTimeout)
 	defer deadline.Stop()
@@ -411,6 +807,10 @@ func (d *Dispatcher) acquire() *wconn {
 		select {
 		case w := <-d.idle:
 			if w.dead.Load() {
+				continue
+			}
+			if !d.health.allowed(w.addr) {
+				d.kill(w)
 				continue
 			}
 			return w
@@ -449,6 +849,7 @@ func (d *Dispatcher) kill(w *wconn) {
 	d.mEvicts.Inc()
 	d.live.Add(-1)
 	w.gauge.Add(-1)
+	d.health.detach(w.addr, w)
 	d.log.Debug("farm: connection evicted", "worker", w.addr, "proto", w.cdc.version)
 	w.conn.Close()
 	close(w.broken)
@@ -458,7 +859,10 @@ func (d *Dispatcher) kill(w *wconn) {
 // handshake, hand the connection to the pool, wait for it to break,
 // redial with exponential backoff. Slot 0 discovers the worker's
 // capacity from its welcome frame and spawns the remaining slots
-// (capacity-driven fan-out, capped by MaxConnsPerWorker).
+// (capacity-driven fan-out, capped by MaxConnsPerWorker). While the
+// worker is quarantined the keeper parks at the health gate instead of
+// dialing; after the cooldown exactly one keeper is admitted as the
+// half-open probe.
 func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Once) {
 	defer d.wg.Done()
 	fails := 0
@@ -468,13 +872,17 @@ func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Onc
 			return
 		default:
 		}
+		if !d.gateDial(addr) {
+			return // dispatcher closed while quarantined
+		}
 		d.mDials.Inc()
 		w, capacity, err := d.dial(addrIdx, addr)
 		if err != nil {
 			d.mDialFails.Inc()
+			d.health.dialFailed(addr)
 			fails++
 			d.log.Debug("farm: dial failed", "worker", addr, "slot", slot, "fails", fails, "err", err)
-			d.sleep(backoff(d.opts.BackoffBase, d.opts.BackoffMax, fails-1))
+			d.sleep(d.backoff(fails - 1))
 			continue
 		}
 		fails = 0
@@ -507,6 +915,22 @@ func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Onc
 	}
 }
 
+// gateDial parks until the worker's health gate admits a dial, or the
+// dispatcher closes (false).
+func (d *Dispatcher) gateDial(addr string) bool {
+	for {
+		ok, wait := d.health.gate(addr)
+		if ok {
+			return true
+		}
+		select {
+		case <-time.After(wait):
+		case <-d.closed:
+			return false
+		}
+	}
+}
+
 // dial opens and handshakes one connection. The hello/welcome exchange
 // is always v1 JSON — the hello advertises the dispatcher's highest
 // supported chunk-path version in Max, the welcome answers with the
@@ -514,8 +938,15 @@ func (d *Dispatcher) keeper(addrIdx int, addr string, slot int, fanOut *sync.Onc
 // handshake refusal (error frame, wrong welcome, nonsense negotiation)
 // maps onto ErrVersionMismatch.
 func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
+	if err := d.fp.Eval("farm/dial"); err != nil {
+		return nil, 0, err
+	}
 	conn, err := d.opts.Dial(addr)
 	if err != nil {
+		return nil, 0, err
+	}
+	if err := d.fp.Eval("farm/handshake"); err != nil {
+		conn.Close()
 		return nil, 0, err
 	}
 	conn.SetDeadline(time.Now().Add(d.opts.ChunkTimeout))
@@ -569,14 +1000,16 @@ func (d *Dispatcher) dial(addrIdx int, addr string) (*wconn, int, error) {
 	d.log.Info("farm: connection established",
 		"worker", addr, "remote", conn.RemoteAddr().String(),
 		"proto", version, "capacity", f.Capacity, "build", f.Build)
-	return &wconn{
+	w := &wconn{
 		conn:    conn,
 		addr:    addr,
 		addrIdx: addrIdx,
 		broken:  make(chan struct{}),
 		cdc:     codec{version: version},
 		gauge:   gauge,
-	}, capacity, nil
+	}
+	d.health.attach(addr, w)
+	return w, capacity, nil
 }
 
 // heartbeater periodically pings pooled (idle) connections and evicts
@@ -633,9 +1066,9 @@ func (d *Dispatcher) ping(w *wconn) error {
 }
 
 // Close stops the dispatcher: keepers and the heartbeater exit, every
-// connection is closed, and subsequent RunChunk calls report
-// ErrDispatcherClosed (in-flight exchanges fail and fall back locally).
-// Close is idempotent.
+// connection is closed, audit environments shut down, and subsequent
+// RunChunk calls report ErrDispatcherClosed (in-flight exchanges fail
+// and fall back locally). Close is idempotent.
 func (d *Dispatcher) Close() {
 	d.stop.Do(func() { close(d.closed) })
 	for {
@@ -644,6 +1077,12 @@ func (d *Dispatcher) Close() {
 			d.kill(w)
 		default:
 			d.wg.Wait()
+			d.auditMu.Lock()
+			for _, env := range d.auditEnvs {
+				env.Close()
+			}
+			d.auditEnvs = nil
+			d.auditMu.Unlock()
 			return
 		}
 	}
@@ -659,8 +1098,15 @@ func (d *Dispatcher) sleep(dur time.Duration) {
 	}
 }
 
-// backoff is the attempt'th exponential backoff step with ±25% jitter.
-func backoff(base, max time.Duration, attempt int) time.Duration {
+// backoff is the attempt'th exponential backoff step under the
+// dispatcher's retry configuration.
+func (d *Dispatcher) backoff(attempt int) time.Duration {
+	return backoff(d.opts.BackoffBase, d.opts.BackoffMax, attempt, d.opts.jitter())
+}
+
+// backoff is the attempt'th exponential backoff step with ±jitter
+// (a fraction of the step; 0 disables).
+func backoff(base, max time.Duration, attempt int, jitter float64) time.Duration {
 	if attempt > 16 {
 		attempt = 16
 	}
@@ -668,6 +1114,11 @@ func backoff(base, max time.Duration, attempt int) time.Duration {
 	if dur > max || dur <= 0 {
 		dur = max
 	}
-	jitter := time.Duration(rand.Int63n(int64(dur)/2+1)) - dur/4
-	return dur + jitter
+	if jitter > 0 {
+		span := int64(float64(dur) * jitter)
+		if span > 0 {
+			dur += time.Duration(rand.Int63n(2*span+1) - span)
+		}
+	}
+	return dur
 }

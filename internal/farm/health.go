@@ -1,0 +1,439 @@
+package farm
+
+import (
+	"log/slog"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HealthOptions tune per-worker health scoring and the circuit breaker
+// that quarantines misbehaving workers (DESIGN.md §13). The zero value
+// selects the documented defaults; scoring is on by default because a
+// fleet with no failures never trips it.
+type HealthOptions struct {
+	// Disable turns health scoring, quarantine, and hedging's
+	// healthiest-lane selection off entirely.
+	Disable bool
+	// ErrorThreshold quarantines a worker once its exchange error-rate
+	// EWMA exceeds it (default 0.5), after MinSamples outcomes.
+	ErrorThreshold float64
+	// LatencyFactor quarantines a worker once its latency EWMA exceeds
+	// LatencyFactor × the fleet-wide EWMA (default 6) — the straggler
+	// cut. It never fires while this worker is the only one with
+	// samples, so a single-worker fleet cannot quarantine itself.
+	LatencyFactor float64
+	// MinSamples is how many exchange outcomes a worker needs before
+	// the thresholds are consulted (default 4).
+	MinSamples int
+	// Cooldown is the first quarantine's duration (default 5s); each
+	// further quarantine doubles it, up to 8×. After the cooldown one
+	// probe connection is allowed through (half-open); its first
+	// exchange outcome either heals the worker or re-quarantines it.
+	// Integrity failures (audit mismatches) quarantine permanently.
+	Cooldown time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3).
+	Alpha float64
+}
+
+func (o *HealthOptions) setDefaults() {
+	if o.ErrorThreshold <= 0 {
+		o.ErrorThreshold = 0.5
+	}
+	if o.LatencyFactor <= 0 {
+		o.LatencyFactor = 6
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 4
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+}
+
+// Worker health states.
+const (
+	healthHealthy     = "healthy"
+	healthQuarantined = "quarantined"
+	healthProbing     = "probing"
+)
+
+// WorkerHealth is one worker's externally visible health snapshot — the
+// shape GET /v1/scheduler serves in its "farm" section.
+type WorkerHealth struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Permanent marks an integrity quarantine: the worker returned a
+	// provably wrong result and is never probed again.
+	Permanent bool `json:"permanent,omitempty"`
+	// LatencyMs is the EWMA of successful exchange latencies.
+	LatencyMs float64 `json:"latency_ms"`
+	// ErrorRate is the EWMA of exchange failures in [0, 1].
+	ErrorRate float64 `json:"error_rate"`
+	// Samples counts scored exchange outcomes.
+	Samples int `json:"samples"`
+	// IntegrityFailures counts audit mismatches.
+	IntegrityFailures int `json:"integrity_failures,omitempty"`
+	// Quarantines counts how often the breaker opened for this worker.
+	Quarantines int `json:"quarantines,omitempty"`
+	// Conns is the worker's current live connection count.
+	Conns int `json:"conns"`
+}
+
+// workerHealth is one worker's scorecard. Guarded by healthSet.mu.
+type workerHealth struct {
+	addr        string
+	state       string
+	permanent   bool
+	until       time.Time     // quarantine expiry (ignored when permanent)
+	cooldown    time.Duration // next quarantine's duration (escalates)
+	probing     bool          // a half-open probe dial is outstanding
+	latEWMA     float64       // ns, successful exchanges only
+	errEWMA     float64
+	samples     int
+	integrity   int
+	quarantines int
+	conns       map[*wconn]struct{}
+}
+
+// healthSet scores every worker's exchanges and runs the circuit
+// breaker. A nil *healthSet (scoring disabled) is valid: every method
+// no-ops and every gate stays open.
+type healthSet struct {
+	opts HealthOptions
+	log  *slog.Logger
+
+	gQuarantined *obs.Gauge   // farm.workers_quarantined: currently open
+	cQuarantines *obs.Counter // farm.quarantines: total breaker opens
+	cIntegrity   *obs.Counter // farm.integrity_failures
+	cProbes      *obs.Counter // farm.health_probes
+
+	mu      sync.Mutex
+	workers map[string]*workerHealth
+	// lats is a ring of recent successful exchange latencies (ns),
+	// fleet-wide — the percentile source for the hedging budget.
+	lats     [128]uint64
+	latPos   int
+	latCount int
+	fleetLat float64 // ns, EWMA across all workers
+}
+
+func newHealthSet(opts HealthOptions, addrs []string, rec *obs.Recorder, log *slog.Logger) *healthSet {
+	if opts.Disable {
+		return nil
+	}
+	opts.setDefaults()
+	hs := &healthSet{
+		opts:    opts,
+		log:     obs.OrNop(log),
+		workers: make(map[string]*workerHealth, len(addrs)),
+	}
+	if rec != nil {
+		hs.gQuarantined = rec.Gauge("farm.workers_quarantined")
+		hs.cQuarantines = rec.Counter("farm.quarantines")
+		hs.cIntegrity = rec.Counter("farm.integrity_failures")
+		hs.cProbes = rec.Counter("farm.health_probes")
+	}
+	for _, addr := range addrs {
+		hs.workers[addr] = &workerHealth{
+			addr:     addr,
+			state:    healthHealthy,
+			cooldown: opts.Cooldown,
+			conns:    map[*wconn]struct{}{},
+		}
+	}
+	return hs
+}
+
+// get returns the worker's scorecard, creating one for addresses the
+// constructor did not know about (defensive; addrs are fixed).
+// Caller holds hs.mu.
+func (hs *healthSet) get(addr string) *workerHealth {
+	h := hs.workers[addr]
+	if h == nil {
+		h = &workerHealth{addr: addr, state: healthHealthy, cooldown: hs.opts.Cooldown, conns: map[*wconn]struct{}{}}
+		hs.workers[addr] = h
+	}
+	return h
+}
+
+// attach registers a live connection with its worker's scorecard.
+func (hs *healthSet) attach(addr string, w *wconn) {
+	if hs == nil {
+		return
+	}
+	hs.mu.Lock()
+	hs.get(addr).conns[w] = struct{}{}
+	hs.mu.Unlock()
+}
+
+// detach removes an evicted connection.
+func (hs *healthSet) detach(addr string, w *wconn) {
+	if hs == nil {
+		return
+	}
+	hs.mu.Lock()
+	delete(hs.get(addr).conns, w)
+	hs.mu.Unlock()
+}
+
+// allowed reports whether chunks may be routed to the worker right now.
+func (hs *healthSet) allowed(addr string) bool {
+	if hs == nil {
+		return true
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.get(addr).state != healthQuarantined
+}
+
+// gate decides whether a keeper may dial its worker now. While the
+// worker is quarantined it returns (false, pollInterval); when a timed
+// quarantine has expired it flips to half-open and admits exactly one
+// prober (the caller), refusing other slots until the probe resolves.
+func (hs *healthSet) gate(addr string) (bool, time.Duration) {
+	if hs == nil {
+		return true, 0
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h := hs.get(addr)
+	switch h.state {
+	case healthHealthy:
+		return true, 0
+	case healthQuarantined:
+		if h.permanent {
+			return false, 500 * time.Millisecond
+		}
+		wait := time.Until(h.until)
+		if wait > 0 {
+			if wait > 250*time.Millisecond {
+				wait = 250 * time.Millisecond
+			}
+			return false, wait
+		}
+		// Cooldown over: half-open. This caller becomes the probe.
+		h.state = healthProbing
+		h.probing = true
+		hs.cProbes.Inc()
+		hs.log.Info("farm: worker half-open, probing", "worker", addr, "quarantines", h.quarantines)
+		return true, 0
+	default: // probing
+		if h.probing {
+			return false, 100 * time.Millisecond
+		}
+		h.probing = true
+		return true, 0
+	}
+}
+
+// dialFailed releases the half-open probe token when the probe's dial
+// itself failed, so another keeper (or a retry) can take it. Dial
+// failures deliberately do not feed error scoring: a worker that is
+// down just keeps its keepers in redial backoff, which the breaker
+// would only slow down.
+func (hs *healthSet) dialFailed(addr string) {
+	if hs == nil {
+		return
+	}
+	hs.mu.Lock()
+	h := hs.get(addr)
+	if h.state == healthProbing {
+		h.probing = false
+	}
+	hs.mu.Unlock()
+}
+
+// outcome scores one exchange (dur meaningful only when ok) and runs
+// the breaker. It returns the connections to evict when the breaker
+// opened — the caller kills them outside the lock.
+func (hs *healthSet) outcome(addr string, dur time.Duration, ok bool) []*wconn {
+	if hs == nil {
+		return nil
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h := hs.get(addr)
+	a := hs.opts.Alpha
+	h.samples++
+	if ok {
+		h.errEWMA *= 1 - a
+		h.latEWMA = a*float64(dur) + (1-a)*h.latEWMA
+		if hs.fleetLat == 0 {
+			hs.fleetLat = float64(dur)
+		} else {
+			hs.fleetLat = a*float64(dur) + (1-a)*hs.fleetLat
+		}
+		hs.lats[hs.latPos] = uint64(dur)
+		hs.latPos = (hs.latPos + 1) % len(hs.lats)
+		if hs.latCount < len(hs.lats) {
+			hs.latCount++
+		}
+	} else {
+		h.errEWMA = a + (1-a)*h.errEWMA
+	}
+
+	switch h.state {
+	case healthProbing:
+		h.probing = false
+		if ok {
+			hs.heal(h)
+			return nil
+		}
+		return hs.quarantine(h, "probe failed", false)
+	case healthHealthy:
+		if h.samples < hs.opts.MinSamples {
+			return nil
+		}
+		if h.errEWMA > hs.opts.ErrorThreshold {
+			return hs.quarantine(h, "error rate", false)
+		}
+		if h.latEWMA > hs.opts.LatencyFactor*hs.fleetLat && hs.othersSampled(h) {
+			return hs.quarantine(h, "straggling", false)
+		}
+	}
+	return nil
+}
+
+// integrityFailure records an audit mismatch: the worker returned a
+// provably wrong result, so it is quarantined permanently (no half-open
+// probing — a byzantine worker does not get better by waiting). Returns
+// the connections to evict.
+func (hs *healthSet) integrityFailure(addr string) []*wconn {
+	if hs == nil {
+		return nil
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h := hs.get(addr)
+	h.integrity++
+	hs.cIntegrity.Inc()
+	return hs.quarantine(h, "integrity failure", true)
+}
+
+// othersSampled reports whether any other worker has scored samples —
+// the guard that keeps a single-worker fleet from being its own
+// latency baseline. Caller holds hs.mu.
+func (hs *healthSet) othersSampled(h *workerHealth) bool {
+	for _, o := range hs.workers {
+		if o != h && o.samples > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// quarantine opens the breaker. Caller holds hs.mu; the returned
+// connections must be killed after release.
+func (hs *healthSet) quarantine(h *workerHealth, reason string, permanent bool) []*wconn {
+	if h.state == healthQuarantined {
+		if permanent {
+			h.permanent = true
+		}
+		return nil
+	}
+	h.state = healthQuarantined
+	h.probing = false
+	h.permanent = h.permanent || permanent
+	h.quarantines++
+	h.until = time.Now().Add(h.cooldown)
+	if next := h.cooldown * 2; next <= 8*hs.opts.Cooldown {
+		h.cooldown = next
+	}
+	hs.gQuarantined.Add(1)
+	hs.cQuarantines.Inc()
+	hs.log.Warn("farm: worker quarantined",
+		"worker", h.addr, "reason", reason, "permanent", h.permanent,
+		"error_rate", h.errEWMA, "latency_ms", h.latEWMA/1e6,
+		"samples", h.samples, "quarantines", h.quarantines)
+	victims := make([]*wconn, 0, len(h.conns))
+	for w := range h.conns {
+		victims = append(victims, w)
+	}
+	return victims
+}
+
+// heal closes the breaker after a successful probe. The error score is
+// forgiven and samples reset so MinSamples must re-accumulate before
+// the breaker can trip again; latency memory is kept. Caller holds
+// hs.mu.
+func (hs *healthSet) heal(h *workerHealth) {
+	h.state = healthHealthy
+	h.errEWMA = 0
+	h.samples = 0
+	hs.gQuarantined.Add(-1)
+	hs.log.Info("farm: worker healed", "worker", h.addr, "quarantines", h.quarantines)
+}
+
+// better reports whether worker a is currently healthier than b — the
+// hedging path's lane-selection order (fewer errors, then lower
+// latency).
+func (hs *healthSet) better(a, b string) bool {
+	if hs == nil {
+		return false
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	ha, hb := hs.get(a), hs.get(b)
+	if ha.errEWMA != hb.errEWMA {
+		return ha.errEWMA < hb.errEWMA
+	}
+	return ha.latEWMA < hb.latEWMA
+}
+
+// latencyP95 estimates the 95th-percentile exchange latency from the
+// recent-latency ring, or 0 until at least 16 samples exist (hedging
+// stays off during warmup rather than hedging on noise).
+func (hs *healthSet) latencyP95() time.Duration {
+	if hs == nil {
+		return 0
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.latCount < 16 {
+		return 0
+	}
+	buf := make([]uint64, hs.latCount)
+	copy(buf, hs.lats[:hs.latCount])
+	slices.Sort(buf)
+	return time.Duration(buf[(len(buf)*95)/100])
+}
+
+// snapshot returns every worker's externally visible health, sorted by
+// address.
+func (hs *healthSet) snapshot() []WorkerHealth {
+	if hs == nil {
+		return nil
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	out := make([]WorkerHealth, 0, len(hs.workers))
+	for _, h := range hs.workers {
+		out = append(out, WorkerHealth{
+			Addr:              h.addr,
+			State:             h.state,
+			Permanent:         h.permanent,
+			LatencyMs:         h.latEWMA / 1e6,
+			ErrorRate:         h.errEWMA,
+			Samples:           h.samples,
+			IntegrityFailures: h.integrity,
+			Quarantines:       h.quarantines,
+			Conns:             len(h.conns),
+		})
+	}
+	slices.SortFunc(out, func(a, b WorkerHealth) int {
+		if a.Addr < b.Addr {
+			return -1
+		}
+		if a.Addr > b.Addr {
+			return 1
+		}
+		return 0
+	})
+	return out
+}

@@ -26,6 +26,11 @@ type Faults struct {
 	// written N frames (0: never) — exercises mid-run worker loss,
 	// chunk retry on other connections, and local fallback.
 	DropAfterFrames int
+	// FlapEvery severs every connection this long after it is
+	// established (0: never) — a flappy worker that keeps dying and
+	// rejoining, exercising the health breaker's quarantine/probe loop
+	// under sustained instability.
+	FlapEvery time.Duration
 }
 
 // Loopback is an in-memory farm transport for tests: worker addresses
@@ -108,6 +113,15 @@ func newFaultConn(conn net.Conn, f Faults) *faultConn {
 		done:   make(chan struct{}),
 	}
 	go fc.writer()
+	if f.FlapEvery > 0 {
+		go func() {
+			select {
+			case <-time.After(f.FlapEvery):
+				fc.Close()
+			case <-fc.done:
+			}
+		}()
+	}
 	return fc
 }
 

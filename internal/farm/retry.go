@@ -1,0 +1,79 @@
+package farm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ApplyRetrySpec parses a -farm-retry specification into the options'
+// retry/backoff parameters. The spec is comma-separated key=value
+// pairs; keys not mentioned keep their previous value (and therefore
+// the documented defaults):
+//
+//	base=50ms       first backoff step (Go duration)
+//	cap=2s          backoff ceiling (Go duration)
+//	attempts=3      connections a chunk tries before local fallback
+//	jitter=0.25     ± jitter fraction in [0, 1]; 0 disables jitter
+//
+// An empty spec is a no-op. On error the options are left unchanged.
+func (o *Options) ApplyRetrySpec(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	next := *o
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok || val == "" {
+			return fmt.Errorf("farm: retry spec %q: want key=value", pair)
+		}
+		switch key {
+		case "base", "cap":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("farm: retry spec %s=%q: want a positive duration", key, val)
+			}
+			if key == "base" {
+				next.BackoffBase = d
+			} else {
+				next.BackoffMax = d
+			}
+		case "attempts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("farm: retry spec attempts=%q: want an integer >= 1", val)
+			}
+			next.Attempts = n
+		case "jitter":
+			j, err := strconv.ParseFloat(val, 64)
+			if err != nil || j < 0 || j > 1 {
+				return fmt.Errorf("farm: retry spec jitter=%q: want a fraction in [0, 1]", val)
+			}
+			if j == 0 {
+				j = -1 // explicit zero: disable (0 would re-select the default)
+			}
+			next.BackoffJitter = j
+		default:
+			return fmt.Errorf("farm: retry spec has unknown key %q (want base/cap/attempts/jitter)", key)
+		}
+	}
+	if next.BackoffBase > 0 && next.BackoffMax > 0 && next.BackoffBase > next.BackoffMax {
+		return fmt.Errorf("farm: retry spec: base %v exceeds cap %v", next.BackoffBase, next.BackoffMax)
+	}
+	*o = next
+	return nil
+}
+
+// RetryString renders the effective retry configuration in the same
+// key=value grammar ApplyRetrySpec accepts — for startup banners.
+func (o Options) RetryString() string {
+	o.setDefaults()
+	return fmt.Sprintf("base=%v,cap=%v,attempts=%d,jitter=%g",
+		o.BackoffBase, o.BackoffMax, o.Attempts, o.jitter())
+}

@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/coverage"
 	"repro/internal/duv/iounit"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/template"
 )
 
 // TestFleetTraceCorrelation is the observability acceptance criterion:
@@ -54,21 +56,31 @@ func TestFleetTraceCorrelation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	env := sim.NewEnv(iounit.New(), 1234, 2)
-	defer env.Close()
-	env.SetRecorder(drec)
-	env.AttachRunner(d, d.Lanes())
-	unit := env.Unit()
-	a, err := env.Submit(unit.BaseTemplates()[0], 600)
-	if err != nil {
-		t.Fatal(err)
+	// Drive chunks through the dispatcher directly rather than racing an
+	// environment's local workers for them (on a single-core runner the
+	// local workers win every race and the remote path never engages).
+	// Identity (campaign/batch/chunk) is assigned the way the scheduler
+	// would; faults make some exchanges retry or fail, which is part of
+	// the point — failed attempts must still trace with the identity of
+	// the chunk they carried.
+	unit := iounit.New()
+	events := unit.Model().Size()
+	templates := []*template.Template{unit.BaseTemplates()[0], altTemplate(t)}
+	chunkID := uint64(0)
+	for batch, tmpl := range templates {
+		for i := 0; i < 6; i++ {
+			chunkID++
+			c := sim.RemoteChunk{
+				Unit: iounit.UnitName, Template: tmpl, Seed: 42,
+				Lo: i * 80, Hi: (i + 1) * 80, Events: events,
+				Campaign: campaign, Batch: uint64(batch + 1), Chunk: chunkID,
+			}
+			dst := coverage.NewCounts(events)
+			// Errors are acceptable (a fault can exhaust all attempts);
+			// the invariant under test is trace identity, not delivery.
+			_ = d.RunChunkInto(c, dst)
+		}
 	}
-	b, err := env.Submit(altTemplate(t), 400)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a.Wait()
-	b.Wait()
 
 	// Export each process's trace file and merge them the way
 	// cmd/tracemerge does: parse → merge → write → reparse.

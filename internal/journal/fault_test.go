@@ -1,0 +1,161 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+// openFDs counts this process's open file descriptors via /proc.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestAppendFailpointPoisonsWriter verifies that an injected append
+// failure behaves exactly like a failing disk: the append errors with
+// the failpoint sentinel and the writer stays poisoned even after the
+// failpoint schedule is exhausted.
+func TestAppendFailpointPoisonsWriter(t *testing.T) {
+	defer failpoint.Default.Clear("journal/append")
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w := writeN(t, path, 3)
+	defer w.Close()
+
+	failpoint.Default.Set("journal/append", failpoint.Policy{Kind: failpoint.KindError, Rate: 1, Times: 1})
+	err := w.Append("rec", payload{N: 99})
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Append under failpoint = %v, want ErrInjected", err)
+	}
+	// The one-shot policy is spent, but the writer must stay poisoned —
+	// a run can never journal past a crash point.
+	if err2 := w.Append("rec", payload{N: 100}); !errors.Is(err2, failpoint.ErrInjected) {
+		t.Fatalf("Append after poison = %v, want the sticky injected error", err2)
+	}
+	if w.Appends() != 3 {
+		t.Fatalf("Appends = %d after poison, want 3", w.Appends())
+	}
+	w.Close()
+
+	recs, w2, err := Recover(path, nil, nil)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want the 3 pre-poison ones", len(recs))
+	}
+}
+
+// TestRecoverCorruptFailpoint verifies the byzantine-disk path: a bit
+// flip in the framed stream is handled by the torn-tail discipline (a
+// valid prefix survives, the rest is truncated away), recovery is
+// idempotent, and the journal accepts appends afterwards.
+func TestRecoverCorruptFailpoint(t *testing.T) {
+	defer failpoint.Default.Clear("journal/recover")
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w := writeN(t, path, 8)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+
+	failpoint.Default.Set("journal/recover", failpoint.Policy{Kind: failpoint.KindCorrupt, Rate: 1, Times: 1})
+	recs, w2, err := Recover(path, nil, nil)
+	if err != nil {
+		t.Fatalf("Recover with corrupt stream: %v (want torn-tail handling, not an error)", err)
+	}
+	if len(recs) >= 8 {
+		t.Fatalf("recovered %d records from a corrupted stream, want < 8", len(recs))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close recovered writer: %v", err)
+	}
+	truncated, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if truncated.Size() >= full.Size() {
+		t.Fatalf("file size %d after corrupt recovery, want truncated below %d", truncated.Size(), full.Size())
+	}
+
+	// The failpoint is spent: a clean re-recovery must agree with the
+	// corrupted one (the truncation already made the loss durable).
+	recs2, w3, err := Recover(path, nil, nil)
+	if err != nil {
+		t.Fatalf("clean re-Recover: %v", err)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("re-recovered %d records, want %d (recovery must be idempotent)", len(recs2), len(recs))
+	}
+	if err := w3.Append("rec", payload{N: 42}); err != nil {
+		t.Fatalf("Append after corrupt recovery: %v", err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs3, w4, err := Recover(path, nil, nil)
+	if err != nil {
+		t.Fatalf("final Recover: %v", err)
+	}
+	defer w4.Close()
+	if len(recs3) != len(recs)+1 {
+		t.Fatalf("final journal has %d records, want %d", len(recs3), len(recs)+1)
+	}
+}
+
+// TestRecoverFaultsLeakNoFDs drives Recover's error paths — injected
+// read failures and drops — in a loop and asserts the process's open
+// file descriptor count does not grow: a failed recovery must never
+// leave the journal file open.
+func TestRecoverFaultsLeakNoFDs(t *testing.T) {
+	defer failpoint.Default.Clear("journal/recover")
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w := writeN(t, path, 5)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	base := openFDs(t)
+	for _, kind := range []failpoint.Kind{failpoint.KindError, failpoint.KindDrop} {
+		failpoint.Default.Set("journal/recover", failpoint.Policy{Kind: kind, Rate: 1})
+		for i := 0; i < 20; i++ {
+			recs, w2, err := Recover(path, nil, nil)
+			if !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("Recover under %v = (%d recs, %v), want ErrInjected", kind, len(recs), err)
+			}
+			if w2 != nil {
+				t.Fatalf("Recover returned a writer alongside an error")
+			}
+		}
+	}
+	failpoint.Default.Clear("journal/recover")
+	// A couple of poisoned-append cycles must not leak either.
+	failpoint.Default.Set("journal/append", failpoint.Policy{Kind: failpoint.KindError, Rate: 1})
+	for i := 0; i < 10; i++ {
+		_, w2, err := Recover(path, nil, nil)
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if err := w2.Append("rec", payload{N: i}); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("Append = %v, want ErrInjected", err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("Close poisoned writer: %v", err)
+		}
+	}
+	failpoint.Default.Clear("journal/append")
+	if got := openFDs(t); got > base {
+		t.Fatalf("open fds grew from %d to %d across faulted recoveries", base, got)
+	}
+}

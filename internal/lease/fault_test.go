@@ -1,0 +1,212 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/obs"
+)
+
+// openFDs counts this process's open file descriptors via /proc.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate fds: %v", err)
+	}
+	return len(ents)
+}
+
+// dirEntries returns the campaign directory's entry names — the
+// tempfile/guard-leak check for failed claims.
+func dirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// TestAcquireFailpoint verifies the lease/claim injection point: the
+// claim fails with the failpoint sentinel before any guard file or
+// record is written, and a clean retry then succeeds at epoch 1 as if
+// the faulted attempt never happened.
+func TestAcquireFailpoint(t *testing.T) {
+	defer failpoint.Default.Clear("lease/claim")
+	m := newManager(t, "r1", time.Second)
+	dir := campaignDir(t)
+
+	failpoint.Default.Set("lease/claim", failpoint.Policy{Kind: failpoint.KindError, Rate: 1, Times: 1})
+	if _, err := m.Acquire(dir, "c000001"); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Acquire under failpoint = %v, want ErrInjected", err)
+	}
+	if names := dirEntries(t, dir); len(names) != 0 {
+		t.Fatalf("faulted claim left files behind: %v", names)
+	}
+
+	h, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatalf("clean Acquire after faulted one: %v", err)
+	}
+	defer h.Release()
+	if h.Epoch() != 1 {
+		t.Fatalf("epoch after faulted claim = %d, want 1 (no epoch burned)", h.Epoch())
+	}
+}
+
+// TestAcquireErrorPathsLeakNothing drives Acquire's failure paths —
+// injected claim faults and ErrHeld contention against a live owner —
+// in a loop and asserts neither file descriptors nor directory entries
+// (guard files, atomicfile temps) accumulate.
+func TestAcquireErrorPathsLeakNothing(t *testing.T) {
+	defer failpoint.Default.Clear("lease/claim")
+	m1 := newManager(t, "r1", time.Minute)
+	m2 := newManager(t, "r2", time.Minute)
+	dir := campaignDir(t)
+
+	h, err := m1.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	base := openFDs(t)
+	baseEntries := len(dirEntries(t, dir))
+
+	for i := 0; i < 20; i++ {
+		if _, err := m2.Acquire(dir, "c000001"); !errors.Is(err, ErrHeld) {
+			t.Fatalf("Acquire against live lease = %v, want ErrHeld", err)
+		}
+	}
+	failpoint.Default.Set("lease/claim", failpoint.Policy{Kind: failpoint.KindError, Rate: 1})
+	for i := 0; i < 20; i++ {
+		if _, err := m2.Acquire(dir, "c000001"); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("Acquire under failpoint = %v, want ErrInjected", err)
+		}
+	}
+	failpoint.Default.Clear("lease/claim")
+
+	if got := openFDs(t); got > base {
+		t.Fatalf("open fds grew from %d to %d across failed claims", base, got)
+	}
+	if got := len(dirEntries(t, dir)); got != baseEntries {
+		t.Fatalf("campaign dir grew from %d to %d entries across failed claims: %v",
+			baseEntries, got, dirEntries(t, dir))
+	}
+}
+
+// TestRenewFailpointFences verifies the lease/renew injection point: an
+// injected renewal failure fences the handle conservatively — Check
+// reports ErrFenced, OnLost fires exactly once, and lease.lost counts
+// one loss.
+func TestRenewFailpointFences(t *testing.T) {
+	defer failpoint.Default.Clear("lease/renew")
+	rec := obs.NewRecorder()
+	m, err := NewManager(Options{Owner: "r1", TTL: 60 * time.Millisecond, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	dir := campaignDir(t)
+
+	h, err := m.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	var lost atomic.Int32
+	h.OnLost(func() { lost.Add(1) })
+
+	failpoint.Default.Set("lease/renew", failpoint.Policy{Kind: failpoint.KindError, Rate: 1, Times: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Check() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("handle never fenced after injected renewal failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := h.Check(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Check = %v, want ErrFenced", err)
+	}
+	time.Sleep(50 * time.Millisecond) // a further renewal tick must not re-fire OnLost
+	if got := lost.Load(); got != 1 {
+		t.Fatalf("OnLost fired %d times, want exactly once", got)
+	}
+	if got := rec.Counter("lease.lost").Value(); got != 1 {
+		t.Fatalf("lease.lost counter = %d, want 1", got)
+	}
+}
+
+// TestLeaseVerifyStealRace races Verify against a concurrent steal: a
+// suspended holder sleeps past its TTL, a peer adopts the campaign at a
+// higher epoch, and then many goroutines Verify the stale handle at
+// once. Every Verify must report ErrFenced, and the fence must trip
+// exactly once (one OnLost call, one lease.lost increment) no matter
+// how many verifiers race.
+func TestLeaseVerifyStealRace(t *testing.T) {
+	rec := obs.NewRecorder()
+	m1, err := NewManager(Options{Owner: "r1", TTL: 60 * time.Millisecond, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	m2 := newManager(t, "r2", 60*time.Millisecond)
+	dir := campaignDir(t)
+
+	h1, err := m1.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	var lost atomic.Int32
+	h1.OnLost(func() { lost.Add(1) })
+
+	// Simulate a stalled replica: renewals pause, the lease expires, and
+	// the peer adopts the campaign at the next epoch.
+	h1.Suspend(true)
+	time.Sleep(120 * time.Millisecond)
+	h2, err := m2.Acquire(dir, "c000001")
+	if err != nil {
+		t.Fatalf("steal after expiry: %v", err)
+	}
+	defer h2.Release()
+	if !h2.Stolen() || h2.Epoch() != h1.Epoch()+1 {
+		t.Fatalf("steal: stolen=%v epoch=%d, want stolen at epoch %d", h2.Stolen(), h2.Epoch(), h1.Epoch()+1)
+	}
+
+	const verifiers = 8
+	errs := make([]error, verifiers)
+	var wg sync.WaitGroup
+	for i := 0; i < verifiers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = h1.Verify()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("verifier %d: Verify = %v, want ErrFenced", i, err)
+		}
+	}
+	if got := lost.Load(); got != 1 {
+		t.Fatalf("OnLost fired %d times across %d racing verifiers, want exactly once", got, verifiers)
+	}
+	if got := rec.Counter("lease.lost").Value(); got != 1 {
+		t.Fatalf("lease.lost counter = %d, want 1", got)
+	}
+	// The new owner is unaffected by the old handle's fencing.
+	if err := h2.Verify(); err != nil {
+		t.Fatalf("new owner's Verify: %v", err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/atomicfile"
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 )
 
@@ -181,6 +182,11 @@ func (m *Manager) Acquire(dir, campaign string) (*Handle, error) {
 		return nil, ErrReleased
 	}
 	m.mu.Unlock()
+	// lease/claim simulates a data root that refuses the claim (NFS
+	// hiccup, permission flap) before any guard or record is touched.
+	if err := failpoint.Eval("lease/claim"); err != nil {
+		return nil, fmt.Errorf("lease: claiming %s: %w", campaign, err)
+	}
 	for attempt := 0; attempt < 4; attempt++ {
 		rec, err := Peek(dir)
 		if err != nil {
@@ -404,6 +410,13 @@ func (h *Handle) renewLoop() {
 		}
 		if h.suspended.Load() {
 			continue
+		}
+		// lease/renew simulates renewal failure (delay models a stalled
+		// data root and is not an error): the handle fences conservatively
+		// exactly as it would on a real write failure.
+		if err := failpoint.Eval("lease/renew"); err != nil {
+			h.markLost(nil)
+			return
 		}
 		rec, err := Peek(h.dir)
 		if err != nil || rec == nil || rec.Owner != h.m.owner || rec.Epoch != h.epoch {

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+// TestSubmitAdmitFailpoint verifies the service/admit injection point:
+// an injected admission failure rejects the submission with the
+// failpoint sentinel before any campaign state exists, and the next
+// clean submission runs to completion as if nothing happened.
+func TestSubmitAdmitFailpoint(t *testing.T) {
+	defer failpoint.Default.Clear("service/admit")
+	svc := newService(t, Config{})
+
+	failpoint.Default.Set("service/admit", failpoint.Policy{Kind: failpoint.KindError, Rate: 1, Times: 1})
+	if _, err := svc.Submit(tinySpec()); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Submit under failpoint = %v, want ErrInjected", err)
+	}
+
+	id, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("clean Submit after faulted one: %v", err)
+	}
+	if id != "c000001" {
+		t.Fatalf("first admitted campaign id = %s, want c000001 (no id burned by the fault)", id)
+	}
+	st := waitDone(t, svc, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", st.State, st.Error)
+	}
+}

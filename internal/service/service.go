@@ -42,6 +42,8 @@ import (
 	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/duv"
+	"repro/internal/failpoint"
+	"repro/internal/farm"
 	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -123,6 +125,12 @@ type Config struct {
 	// knob: reports are bit-identical with or without it.
 	Runner      sim.ChunkRunner
 	RunnerLanes int
+
+	// FarmHealth, when non-nil, reports the farm fleet's per-worker
+	// health and quarantine state; cdgd wires it to the dispatcher's
+	// Health method and GET /v1/scheduler serves it in its "farm"
+	// section. Must be fast and non-blocking.
+	FarmHealth func() []farm.WorkerHealth
 
 	// Rec instruments the service (service.* metrics — several carry a
 	// tenant label — campaign spans, lease.* metrics) and is shared as
@@ -428,6 +436,13 @@ func (s *Service) janitor() {
 			return
 		case <-t.C:
 		}
+		// service/janitor simulates a janitor pass failing wholesale
+		// (data root briefly unreadable): the pass is skipped and the
+		// next tick retries, exactly like a real scan failure.
+		if err := failpoint.Eval("service/janitor"); err != nil {
+			s.log.Warn("service: janitor scan failed", "err", err)
+			continue
+		}
 		if err := s.scan(false); err != nil {
 			s.log.Warn("service: janitor scan failed", "err", err)
 		}
@@ -539,6 +554,11 @@ func (s *Service) Ready() error {
 func (s *Service) Submit(spec Spec) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", err
+	}
+	// service/admit simulates admission-path failure (store unwritable,
+	// overload shedding) after validation but before any state exists.
+	if err := failpoint.Eval("service/admit"); err != nil {
+		return "", fmt.Errorf("service: admitting campaign: %w", err)
 	}
 	tenant := spec.tenant()
 	s.mu.Lock()
@@ -663,7 +683,7 @@ func (s *Service) Scheduler() SchedulerInfo {
 	for k, v := range s.runningByTenant {
 		running[k] = v
 	}
-	return SchedulerInfo{
+	info := SchedulerInfo{
 		Owner:          s.owner,
 		MaxRunning:     s.cfg.MaxRunning,
 		Capacity:       s.capacityLocked(),
@@ -673,6 +693,10 @@ func (s *Service) Scheduler() SchedulerInfo {
 		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
 		Tenants:        s.sched.stats(running, s.completedByTenant),
 	}
+	if s.cfg.FarmHealth != nil {
+		info.Farm = s.cfg.FarmHealth()
+	}
+	return info
 }
 
 // SchedulerInfo is GET /v1/scheduler's response body.
@@ -685,6 +709,9 @@ type SchedulerInfo struct {
 	DesiredWorkers int          `json:"desired_workers"`
 	LeaseTTLMillis int64        `json:"lease_ttl_ms"`
 	Tenants        []TenantStat `json:"tenants"`
+	// Farm is the per-worker health/quarantine state of the farm fleet
+	// (omitted when the replica runs without a farm dispatcher).
+	Farm []farm.WorkerHealth `json:"farm,omitempty"`
 }
 
 // Cancel stops a campaign: a queued one is withdrawn (arbitrated by a
