@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/profiling"
 	"repro/internal/sigctx"
 )
@@ -56,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	iterations := fs.Int("iterations", 10, "optimizer iterations")
 	directions := fs.Int("directions", 10, "optimizer directions per iteration (n)")
 	optSims := fs.Int("opt-sims", 100, "optimizer sims per point (N)")
+	engine := fs.String("engine", "", "optimization engine: "+strings.Join(opt.EngineNames(), ", ")+" (default implicit_filtering)")
+	engineParams := fs.String("engine-params", "", `engine-specific knobs as JSON, e.g. '{"candidates": 256}'`)
 	bestSims := fs.Int("best-sims", 2000, "standalone sims of the harvested template")
 	out := fs.String("out", "", "write the harvested test-template to this file")
 	journalPath := fs.String("journal", "", "checkpoint the run into this crash-safe journal file")
@@ -96,6 +100,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(stderr, "ascdg: %v\n", err)
+		return 2
+	}
+	if err := opt.Validate(*engine, json.RawMessage(*engineParams)); err != nil {
 		fmt.Fprintf(stderr, "ascdg: %v\n", err)
 		return 2
 	}
@@ -146,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BestSims:              *bestSims,
 		Workers:               *workers,
 		Obs:                   sess.Recorder(),
+		Engine:                *engine,
+	}
+	if *engineParams != "" {
+		cfg.EngineParams = json.RawMessage(*engineParams)
 	}
 	if *farmAddrs != "" {
 		fopts := farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto,

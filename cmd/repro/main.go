@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/figures"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/profiling"
 	"repro/internal/sigctx"
 )
@@ -37,6 +39,8 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "budget scale (1.0 = paper-scale simulation counts)")
 	seed := flag.Uint64("seed", 1, "random seed for the whole run")
 	rounds := flag.Int("rounds", 5, "max refinement rounds for family experiments")
+	engine := flag.String("engine", "", "optimization engine for every figure flow: "+strings.Join(opt.EngineNames(), ", ")+" (default implicit_filtering)")
+	engineParams := flag.String("engine-params", "", `engine-specific knobs as JSON, e.g. '{"candidates": 256}'`)
 	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/figN.csv")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (<= 0: GOMAXPROCS)")
 	farmAddrs := flag.String("farm", "", "comma-separated farmd worker addresses (host:port,host:port); chunks are dispatched remotely with local fallback")
@@ -64,6 +68,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := failpoint.Configure(*failpoints); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
+	}
+	if err := opt.Validate(*engine, json.RawMessage(*engineParams)); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(2)
 	}
@@ -104,6 +112,10 @@ func main() {
 	opts := figures.Options{
 		Scale: *scale, Seed: *seed, Rounds: *rounds, Workers: *workers,
 		Obs: sess.Recorder(), Ctx: ctx, JournalDir: *journalDir, Resume: *resume,
+		Engine: *engine,
+	}
+	if *engineParams != "" {
+		opts.EngineParams = json.RawMessage(*engineParams)
 	}
 	if *farmAddrs != "" {
 		fopts := farm.Options{Rec: sess.Recorder(), MaxVersion: *farmProto,

@@ -30,6 +30,7 @@ import (
 	_ "repro/internal/duv/l3cache"
 	_ "repro/internal/duv/noc"
 	"repro/internal/journal"
+	"repro/internal/knowledge"
 	"repro/internal/obs"
 	"repro/internal/sigctx"
 	"repro/internal/sim"
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	save := fs.String("save", "", "save the repository to this JSON file")
 	events := fs.String("events", "", "comma-separated event names to report on (default: all)")
 	best := fs.Int("best", 0, "report the n best templates for the given events")
+	knowledgeDir := fs.String("knowledge", "", "blend cross-campaign knowledge from this directory (a service data root's knowledge/ store) into -best scores")
 	uncovered := fs.Bool("uncovered", false, "list never-hit events")
 	lightly := fs.Bool("lightly", false, "list lightly-hit events")
 	ci := fs.Bool("ci", false, "report 95% Wilson confidence intervals for hit rates")
@@ -175,10 +177,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tacquery: -best requires -events")
 			return 2
 		}
-		scores, err := stats.BestTemplates(ids, nil, *best)
+		// With a knowledge base, rank everything, blend the boosts in,
+		// and only then truncate — a boost may promote a template past
+		// the unblended cutoff.
+		n := *best
+		if *knowledgeDir != "" {
+			n = 0
+		}
+		scores, err := stats.BestTemplates(ids, nil, n)
 		if err != nil {
 			fmt.Fprintf(stderr, "tacquery: %v\n", err)
 			return 1
+		}
+		if *knowledgeDir != "" {
+			entries, err := knowledge.Load(*knowledgeDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "tacquery: %v\n", err)
+				return 1
+			}
+			scores = knowledge.BlendTAC(scores, knowledge.TACBoosts(entries, *unitName, knowledge.DefaultDamp))
+			if len(scores) > *best {
+				scores = scores[:*best]
+			}
 		}
 		fmt.Fprintf(stdout, "%-24s %10s %10s\n", "template", "score", "sims")
 		for _, s := range scores {

@@ -23,9 +23,11 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 
 	"repro/internal/coverage"
 	"repro/internal/duv"
@@ -92,6 +94,31 @@ type Config struct {
 	// template (default 2000).
 	BestSims int
 
+	// Engine selects the fine-grained optimizer by registry name
+	// ("" = implicit_filtering, the paper's Algorithm 1; see
+	// opt.EngineNames). EngineParams is the engine's opaque knob blob
+	// (a JSON object) overlaid on the flow's generic optimizer knobs
+	// (iterations, directions, steps). Both are result-relevant and
+	// journal-hashed.
+	Engine       string
+	EngineParams json.RawMessage
+
+	// Prior offers past observations from the cross-campaign knowledge
+	// base to engines that learn from history (ranker, bayes): each
+	// point is a previously harvested weight vector and its measured
+	// coverage score. Stencil engines ignore it. Result-relevant when
+	// the selected engine uses it, so its content digest is part of the
+	// journal's config hash.
+	Prior []opt.PriorPoint
+
+	// TACPrior blends knowledge-base evidence into the coarse-grained
+	// search: per-template score boosts (already damped by the
+	// producer) added to the TAC ranking before the top templates are
+	// chosen. Empty leaves the ranking untouched — the default flow is
+	// bit-identical with or without the field. Result-relevant and
+	// journal-hashed.
+	TACPrior map[string]float64
+
 	// Obs, when non-nil, instruments the run: phase spans and progress
 	// events from the flow, scheduler metrics from the environment, and
 	// per-iteration records from the optimizer. Purely observational —
@@ -149,6 +176,60 @@ func (c Config) withDefaults() Config {
 		c.BestSims = 2000
 	}
 	return c
+}
+
+// engineName resolves the configured optimization engine ("" means the
+// paper's default, implicit filtering).
+func (c Config) engineName() string {
+	if c.Engine == "" {
+		return opt.DefaultEngine
+	}
+	return c.Engine
+}
+
+// engineParams builds the engine's parameter blob: the flow's generic
+// optimizer knobs as the base, with the user's EngineParams overlaid.
+// Engines decode leniently, so stencil-specific knobs (directions,
+// min_step) are simply ignored by engines without them.
+func (c Config) engineParams() (json.RawMessage, error) {
+	base := map[string]any{
+		"iterations": c.OptIterations,
+		"directions": c.OptDirections,
+	}
+	if c.InitialStep > 0 {
+		base["initial_step"] = c.InitialStep
+	}
+	if c.MinStep > 0 {
+		base["min_step"] = c.MinStep
+	}
+	if c.NoResampleCenter {
+		base["no_resample_center"] = true
+	}
+	return opt.MergeParams(base, c.EngineParams)
+}
+
+// blendTACPrior folds cross-campaign knowledge into a TAC ranking: each
+// template named in prior gets its boost added to the measured score,
+// then the ranking is re-sorted (score descending, name ascending for
+// determinism). An empty prior returns ranked untouched, keeping the
+// default flow bit-identical.
+func blendTACPrior(ranked []tac.TemplateScore, prior map[string]float64) []tac.TemplateScore {
+	if len(prior) == 0 {
+		return ranked
+	}
+	out := append([]tac.TemplateScore(nil), ranked...)
+	for i := range out {
+		if boost, ok := prior[out[i].Name]; ok {
+			out[i].Score += boost
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // PhaseStats is one phase's aggregate coverage — one column group of the
@@ -497,6 +578,7 @@ func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error
 		phTac.End(nil)
 		return nil, err
 	}
+	ranked = blendTACPrior(ranked, f.cfg.TACPrior)
 	byName := map[string]*template.Template{}
 	for _, t := range f.env.Unit().BaseTemplates() {
 		byName[t.Name] = t
@@ -568,10 +650,11 @@ func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error
 		"sims_per_point": f.cfg.OptSims, "start_score": bestStart,
 	})
 	// Replay checkpointed iterations: the last opt_iter record carries
-	// the complete resumable optimizer state and the cumulative phase
-	// aggregate, so the optimizer re-enters at the following iteration.
+	// the engine's complete resumable state and the cumulative phase
+	// aggregate, so the engine re-enters at the following iteration.
+	engineName := f.cfg.engineName()
 	optPhase := coverage.NewCountsFor(model)
-	var optResume *opt.IterState
+	var optResume json.RawMessage
 	for {
 		var rec optIterRec
 		ok, err := f.cur.Take("opt_iter", &rec)
@@ -582,17 +665,20 @@ func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error
 		if !ok {
 			break
 		}
+		if rec.Engine != engineName {
+			phOpt.End(nil)
+			return nil, fmt.Errorf("core: journal opt_iter record is from engine %q, flow uses %q", rec.Engine, engineName)
+		}
 		if len(rec.PhaseHits) != model.Size() {
 			phOpt.End(nil)
 			return nil, fmt.Errorf("core: journal opt_iter record has %d events, want %d", len(rec.PhaseHits), model.Size())
 		}
 		optPhase = coverage.CountsFromRaw(rec.PhaseHits, rec.PhaseSims)
-		st := rec.State
-		optResume = &st
+		optResume = rec.State
 		f.env.RestoreCounters(rec.Batches, rec.EnvSims)
 	}
 	var batchErr error
-	checkpoint := func(st opt.IterState) error {
+	checkpoint := func(state json.RawMessage) error {
 		// An iteration evaluated on a failed or canceled batch must not
 		// reach the journal: its values are not real simulation results.
 		if batchErr != nil {
@@ -603,25 +689,34 @@ func (f *Flow) run(target *neighbors.Target, targetEvents []int) (*Report, error
 		}
 		hits, sims := optPhase.Raw()
 		return f.cur.Append("opt_iter", optIterRec{
-			State: st, PhaseHits: hits, PhaseSims: sims,
+			Engine: engineName, State: state, PhaseHits: hits, PhaseSims: sims,
 			Batches: f.env.Batches(), EnvSims: f.env.Simulations(),
 		})
 	}
-	res, err := opt.ImplicitFiltering(nil, bestX, opt.Options{
-		Directions:       f.cfg.OptDirections,
-		InitialStep:      f.cfg.InitialStep,
-		MinStep:          f.cfg.MinStep,
-		MaxIterations:    f.cfg.OptIterations,
-		TargetValue:      f.cfg.TargetValue,
-		NoResampleCenter: f.cfg.NoResampleCenter,
-		Lo:               0,
-		Hi:               float64(skel.MaxWeight()),
-		RNG:              r.SplitString("optimize"),
-		Batch:            f.batchObjective(skel, target, optPhase, &batchErr),
-		Recorder:         f.rec,
-		Context:          f.ctx,
-		Checkpoint:       checkpoint,
-		Resume:           optResume,
+	params, err := f.cfg.engineParams()
+	if err != nil {
+		phOpt.End(nil)
+		return nil, err
+	}
+	eng, err := opt.New(engineName, opt.EngineConfig{
+		X0:          bestX,
+		Lo:          0,
+		Hi:          float64(skel.MaxWeight()),
+		TargetValue: f.cfg.TargetValue,
+		RNG:         r.SplitString("optimize"),
+		Recorder:    f.rec,
+		Prior:       f.cfg.Prior,
+	}, params)
+	if err != nil {
+		phOpt.End(nil)
+		return nil, err
+	}
+	res, err := opt.Drive(eng, opt.DriveOptions{
+		Batch:      f.batchObjective(skel, target, optPhase, &batchErr),
+		BatchSize:  f.cfg.OptDirections,
+		Context:    f.ctx,
+		Checkpoint: checkpoint,
+		Resume:     optResume,
 	})
 	if err == nil && batchErr != nil {
 		err = batchErr

@@ -11,9 +11,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"sort"
 
 	"repro/internal/journal"
 	"repro/internal/opt"
@@ -45,6 +47,25 @@ func cfgHash(c Config) uint64 {
 		c.OptIterations, c.OptDirections, c.OptSims,
 		c.InitialStep, c.MinStep, c.NoResampleCenter, c.TargetValue,
 		c.BestSims)
+	// Engine selection, engine params, and the knowledge priors all steer
+	// proposals, so a journal written under different ones must not
+	// replay. The default engine with no extras hashes the same as before
+	// this field existed, keeping old journals resumable.
+	if name := c.engineName(); name != opt.DefaultEngine || len(c.EngineParams) > 0 ||
+		len(c.Prior) > 0 || len(c.TACPrior) > 0 {
+		fmt.Fprintf(h, "|%s|%s", name, c.EngineParams)
+		for _, p := range c.Prior {
+			fmt.Fprintf(h, "|%v=%v", p.X, p.Value)
+		}
+		names := make([]string, 0, len(c.TACPrior))
+		for n := range c.TACPrior {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(h, "|%s=%v", n, c.TACPrior[n])
+		}
+	}
 	return h.Sum64()
 }
 
@@ -80,15 +101,18 @@ type sampleRec struct {
 	EnvSims uint64   `json:"env_sims"`
 }
 
-// optIterRec checkpoints one optimizer iteration: the resumable
-// IterState plus the cumulative optimization-phase aggregate and the
-// environment counters after the iteration's submissions.
+// optIterRec checkpoints one optimizer iteration: the engine's opaque
+// resumable state plus the cumulative optimization-phase aggregate and
+// the environment counters after the iteration's submissions. Replay
+// verifies Engine against the flow's configured engine — a checkpoint
+// is only meaningful to the engine that wrote it.
 type optIterRec struct {
-	State     opt.IterState `json:"state"`
-	PhaseHits []uint64      `json:"phase_hits"`
-	PhaseSims uint64        `json:"phase_sims"`
-	Batches   uint64        `json:"batches"`
-	EnvSims   uint64        `json:"env_sims"`
+	Engine    string          `json:"engine"`
+	State     json.RawMessage `json:"state"`
+	PhaseHits []uint64        `json:"phase_hits"`
+	PhaseSims uint64          `json:"phase_sims"`
+	Batches   uint64          `json:"batches"`
+	EnvSims   uint64          `json:"env_sims"`
 }
 
 // harvestRec is the harvested template's standalone evaluation.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/coverage"
@@ -72,6 +73,7 @@ func (f *Flow) runPerEventShared(ctx context.Context, family string, decay float
 		phTac.End(nil)
 		return nil, err
 	}
+	ranked = blendTACPrior(ranked, f.cfg.TACPrior)
 	byName := map[string]*template.Template{}
 	for _, t := range f.env.Unit().BaseTemplates() {
 		byName[t.Name] = t
@@ -156,20 +158,29 @@ func (f *Flow) runPerEventShared(ctx context.Context, family string, decay float
 			"target": model.Name(ev), "start_score": startScore,
 		})
 		var batchErr error
-		res, err := opt.ImplicitFiltering(nil, x0, opt.Options{
-			Directions:       f.cfg.OptDirections,
-			InitialStep:      f.cfg.InitialStep,
-			MinStep:          f.cfg.MinStep,
-			MaxIterations:    f.cfg.OptIterations,
-			TargetValue:      f.cfg.TargetValue,
-			NoResampleCenter: f.cfg.NoResampleCenter,
-			Lo:               0,
-			Hi:               float64(skel.MaxWeight()),
-			RNG:              r.SplitString("optimize-" + model.Name(ev)),
-			Batch:            f.batchObjective(skel, target, optPhase, &batchErr),
-			Recorder:         f.rec,
-			Context:          f.ctx,
-			Checkpoint:       func(opt.IterState) error { return batchErr },
+		params, err := f.cfg.engineParams()
+		if err != nil {
+			phOpt.End(nil)
+			return nil, err
+		}
+		eng, err := opt.New(f.cfg.engineName(), opt.EngineConfig{
+			X0:          x0,
+			Lo:          0,
+			Hi:          float64(skel.MaxWeight()),
+			TargetValue: f.cfg.TargetValue,
+			RNG:         r.SplitString("optimize-" + model.Name(ev)),
+			Recorder:    f.rec,
+			Prior:       f.cfg.Prior,
+		}, params)
+		if err != nil {
+			phOpt.End(nil)
+			return nil, err
+		}
+		res, err := opt.Drive(eng, opt.DriveOptions{
+			Batch:      f.batchObjective(skel, target, optPhase, &batchErr),
+			BatchSize:  f.cfg.OptDirections,
+			Context:    f.ctx,
+			Checkpoint: func(json.RawMessage) error { return batchErr },
 		})
 		if err == nil && batchErr != nil {
 			err = batchErr

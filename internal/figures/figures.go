@@ -13,6 +13,7 @@ package figures
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -58,6 +59,12 @@ type Options struct {
 	// Resume recovers existing journals in JournalDir instead of
 	// starting over; figures whose journal is missing start fresh.
 	Resume bool
+	// Engine selects the optimization engine for every figure flow
+	// ("" keeps the paper's implicit filtering); EngineParams is the
+	// engine's knob object as JSON. The A/B study in EXPERIMENTS.md
+	// sweeps these across the registered engines.
+	Engine       string
+	EngineParams json.RawMessage
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +158,8 @@ func Fig3(opts Options) (*Result, error) {
 		Obs:                   opts.Obs,
 		Runner:                opts.Runner,
 		RunnerLanes:           opts.RunnerLanes,
+		Engine:                opts.Engine,
+		EngineParams:          opts.EngineParams,
 		CorpusSimsPerTemplate: scaled(669000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -211,6 +220,8 @@ func Fig4(opts Options) (*Result, error) {
 		Obs:                   opts.Obs,
 		Runner:                opts.Runner,
 		RunnerLanes:           opts.RunnerLanes,
+		Engine:                opts.Engine,
+		EngineParams:          opts.EngineParams,
 		CorpusSimsPerTemplate: scaled(1000000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          2,
 		Subranges:             4,
@@ -271,6 +282,8 @@ func Fig5(opts Options) (*Result, error) {
 		Obs:                   opts.Obs,
 		Runner:                opts.Runner,
 		RunnerLanes:           opts.RunnerLanes,
+		Engine:                opts.Engine,
+		EngineParams:          opts.EngineParams,
 		CorpusSimsPerTemplate: scaled(300000, opts.Scale) / len(unit.BaseTemplates()),
 		TopTemplates:          3,
 		Subranges:             4,

@@ -1,0 +1,286 @@
+package knowledge
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/tac"
+)
+
+func entry(campaign string, round int, unit, template string, score float64, sources ...string) Entry {
+	return Entry{
+		Campaign: campaign,
+		Round:    round,
+		Unit:     unit,
+		Template: template,
+		Weights:  []float64{10, 20, 30},
+		Score:    score,
+		Sims:     100,
+		Sources:  sources,
+	}
+}
+
+func openStore(t *testing.T, dir, owner string) *Store {
+	t.Helper()
+	s, err := Open(dir, owner, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAddDedupe: feeding the same (campaign, round, template) key twice
+// — a replayed harvest — stores it once.
+func TestAddDedupe(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "r1")
+	defer s.Close()
+
+	e := entry("c000001", 0, "iounit", "c000001_r0_best", 0.5, "tplA")
+	if err := s.Add([]Entry{e, e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("entries = %d, want 1", len(all))
+	}
+	if !reflect.DeepEqual(all[0], e) {
+		t.Fatalf("entry round-trip mismatch:\ngot  %+v\nwant %+v", all[0], e)
+	}
+}
+
+// TestAddValidates: entries without the key fields are rejected before
+// anything hits the journal.
+func TestAddValidates(t *testing.T) {
+	s := openStore(t, t.TempDir(), "r1")
+	defer s.Close()
+	if err := s.Add([]Entry{{Campaign: "c1"}}); err == nil {
+		t.Fatal("entry without template accepted")
+	}
+	if err := s.Add([]Entry{{Template: "x"}}); err == nil {
+		t.Fatal("entry without campaign accepted")
+	}
+}
+
+// TestReopenSeedsSeen: a restarted replica recovers its own journal and
+// keeps deduplicating — the durable analogue of TestAddDedupe.
+func TestReopenSeedsSeen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "r1")
+	e := entry("c000001", 0, "iounit", "c000001_r0_best", 0.5)
+	if err := s.Add([]Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openStore(t, dir, "r1")
+	defer s.Close()
+	if err := s.Add([]Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("entries after reopen+refeed = %d, want 1", len(all))
+	}
+}
+
+// TestMultiOwnerMerge: two replicas append to their own journals; both
+// see the union, and the read-only Load sees it too, sorted by
+// (campaign, round, template).
+func TestMultiOwnerMerge(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, dir, "replica-a")
+	defer s1.Close()
+	s2 := openStore(t, dir, "replica-b")
+	defer s2.Close()
+
+	e1 := entry("c000001", 0, "iounit", "c000001_r0_best", 0.5, "tplA")
+	e2 := entry("c000002", 0, "iounit", "c000002_r0_best", 0.7, "tplB")
+	shared := entry("c000003", 1, "iounit", "c000003_r1_best", 0.9)
+	if err := s1.Add([]Entry{e1, shared}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Add([]Entry{e2, shared}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []Entry{e1, e2, shared}
+	for name, get := range map[string]func() ([]Entry, error){
+		"s1.All": s1.All,
+		"s2.All": s2.All,
+		"Load":   func() ([]Entry, error) { return Load(dir) },
+	} {
+		got, err := get()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s:\ngot  %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestCompact: the snapshot holds the merged view and Load still
+// deduplicates it against the journals it was built from.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "r1")
+	defer s.Close()
+
+	// Empty store: compact is a no-op, no snapshot appears.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("empty compact wrote a snapshot (stat err = %v)", err)
+	}
+
+	e1 := entry("c000001", 0, "iounit", "c000001_r0_best", 0.5)
+	e2 := entry("c000002", 0, "l3cache", "c000002_r0_best", 0.7)
+	if err := s.Add([]Entry{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []Entry
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("snapshot entries = %d, want 2", len(snap))
+	}
+
+	// Snapshot + journal both hold the entries; the merge still yields 2.
+	all, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, []Entry{e1, e2}) {
+		t.Fatalf("post-compact view:\ngot  %+v\nwant %+v", all, []Entry{e1, e2})
+	}
+}
+
+// TestLoadSkipsForeignFiles: mid-create (empty) and non-journal files in
+// the store directory are ignored rather than failing the merge.
+func TestLoadSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "r1")
+	defer s.Close()
+	e := entry("c000001", 0, "iounit", "c000001_r0_best", 0.5)
+	if err := s.Add([]Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mid-create.journal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("entries = %d, want 1", len(all))
+	}
+}
+
+func TestPriors(t *testing.T) {
+	entries := []Entry{
+		entry("c1", 0, "iounit", "a", 0.2),
+		entry("c2", 0, "iounit", "b", 0.9),
+		entry("c3", 0, "l3cache", "c", 0.99), // wrong unit: filtered
+		entry("c4", 0, "iounit", "d", 0.5),
+		{Campaign: "c5", Unit: "iounit", Template: "e", Score: 1.0}, // no weights: filtered
+	}
+	pts := Priors(entries, "iounit", 0)
+	if len(pts) != 3 {
+		t.Fatalf("priors = %d, want 3", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value > pts[i-1].Value {
+			t.Fatalf("priors not sorted best-first: %v", pts)
+		}
+	}
+	if pts[0].Value != 0.9 {
+		t.Fatalf("best prior value = %v, want 0.9", pts[0].Value)
+	}
+	if got := Priors(entries, "iounit", 2); len(got) != 2 {
+		t.Fatalf("capped priors = %d, want 2", len(got))
+	}
+	if got := Priors(entries, "noc", 0); got != nil {
+		t.Fatalf("priors for unitless history = %v, want nil", got)
+	}
+}
+
+func TestTACBoosts(t *testing.T) {
+	entries := []Entry{
+		entry("c1", 0, "iounit", "t1", 0.4, "tplA", "tplB"),
+		entry("c2", 0, "iounit", "t2", 0.8, "tplA"),
+		entry("c3", 0, "l3cache", "t3", 1.0, "tplZ"), // wrong unit
+	}
+	boosts := TACBoosts(entries, "iounit", 0.5)
+	// tplA: 0.5 * mean(0.4, 0.8) = 0.3; tplB: 0.5 * 0.4 = 0.2.
+	if len(boosts) != 2 {
+		t.Fatalf("boosts = %v, want 2 templates", boosts)
+	}
+	if got := boosts["tplA"]; math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("tplA boost = %v, want 0.3", got)
+	}
+	if got := boosts["tplB"]; got != 0.2 {
+		t.Fatalf("tplB boost = %v, want 0.2", got)
+	}
+	if got := TACBoosts(entries, "noc", 0.5); got != nil {
+		t.Fatalf("boosts for unitless history = %v, want nil", got)
+	}
+	// damp <= 0 falls back to DefaultDamp.
+	if got := TACBoosts(entries, "iounit", 0)["tplB"]; got != DefaultDamp*0.4 {
+		t.Fatalf("default-damp tplB boost = %v, want %v", got, DefaultDamp*0.4)
+	}
+}
+
+func TestBlendTAC(t *testing.T) {
+	ranked := []tac.TemplateScore{
+		{Name: "a", Score: 0.50},
+		{Name: "b", Score: 0.40},
+		{Name: "c", Score: 0.30},
+	}
+	// Nil boosts: untouched, same backing order.
+	if got := BlendTAC(ranked, nil); !reflect.DeepEqual(got, ranked) {
+		t.Fatalf("nil blend changed ranking: %v", got)
+	}
+	got := BlendTAC(ranked, map[string]float64{"c": 0.25})
+	want := []string{"c", "a", "b"}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("blended order = %v, want %v", got, want)
+		}
+	}
+	if got[0].Score != 0.55 {
+		t.Fatalf("boosted score = %v, want 0.55", got[0].Score)
+	}
+	// The input slice must not be mutated.
+	if ranked[2].Score != 0.30 || ranked[0].Name != "a" {
+		t.Fatalf("BlendTAC mutated its input: %v", ranked)
+	}
+}

@@ -14,6 +14,7 @@ package opt
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -279,6 +280,58 @@ func randomDirection(r *rng.RNG, dim int) []float64 {
 	}
 }
 
+// IFSpecFromOptions is the compatibility constructor bridging the
+// legacy aggregate Options to implicit filtering's per-engine spec.
+func IFSpecFromOptions(opts Options) IFSpec {
+	return IFSpec{
+		Directions:       opts.Directions,
+		Iterations:       opts.MaxIterations,
+		InitialStep:      opts.InitialStep,
+		MinStep:          opts.MinStep,
+		NoResampleCenter: opts.NoResampleCenter,
+	}
+}
+
+// engineConfigFromOptions extracts the solver-agnostic half of Options.
+func engineConfigFromOptions(x0 []float64, opts Options) EngineConfig {
+	return EngineConfig{
+		X0:          x0,
+		Lo:          opts.Lo,
+		Hi:          opts.Hi,
+		MaxEvals:    opts.MaxEvals,
+		TargetValue: opts.TargetValue,
+		RNG:         opts.RNG,
+		Recorder:    opts.Recorder,
+	}
+}
+
+// driveOptionsFromOptions adapts Options' loop concerns (objective,
+// cancellation, typed checkpoint/resume) to Drive's engine-agnostic
+// form. IterState round-trips through JSON exactly (shortest-form
+// float64 encoding), so the raw<->typed conversions here preserve the
+// legacy checkpoint semantics bit for bit.
+func driveOptionsFromOptions(f Objective, opts Options) (DriveOptions, error) {
+	drv := DriveOptions{Objective: f, Batch: opts.Batch, Context: opts.Context}
+	if opts.Checkpoint != nil {
+		cb := opts.Checkpoint
+		drv.Checkpoint = func(raw json.RawMessage) error {
+			var st IterState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return err
+			}
+			return cb(st)
+		}
+	}
+	if opts.Resume != nil {
+		raw, err := json.Marshal(opts.Resume)
+		if err != nil {
+			return DriveOptions{}, err
+		}
+		drv.Resume = raw
+	}
+	return drv, nil
+}
+
 // ImplicitFiltering maximizes f starting from x0 using the paper's
 // Algorithm 1. Each iteration samples f at the center (resampled unless
 // disabled) and at Directions random points at stencil distance h — as
@@ -286,6 +339,9 @@ func randomDirection(r *rng.RNG, dim int) []float64 {
 // the center moves to the best point if it improves, otherwise h is
 // halved. The run stops on MaxIterations, MinStep, MaxEvals, or
 // TargetValue.
+//
+// This is the Options-compatibility wrapper over the "implicit_filtering"
+// Engine; the trajectory is identical to the pre-Engine implementation.
 func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if len(x0) == 0 {
@@ -294,127 +350,12 @@ func ImplicitFiltering(f Objective, x0 []float64, opts Options) (Result, error) 
 	if f == nil && opts.Batch == nil {
 		return Result{}, fmt.Errorf("opt: nil objective")
 	}
-	dim := len(x0)
-	center := append([]float64(nil), x0...)
-	clampTo(center, opts.Lo, opts.Hi)
-
-	ev := &evaluator{f: f, batch: opts.Batch, mEvals: opts.Recorder.Counter("opt.evals")}
-	oo := newOptObs(opts.Recorder)
-
-	h := opts.InitialStep
-	var best, overallBest float64
-	var overallX []float64
-	history := make([]IterRecord, 0, historyCap(opts.MaxIterations))
-	startIter := 1
-	if st := opts.Resume; st != nil {
-		center = append([]float64(nil), st.Center...)
-		best = st.Best
-		h = st.Step
-		overallBest = st.OverallBest
-		overallX = append([]float64(nil), st.OverallX...)
-		ev.evals = st.Evals
-		history = append(history, st.History...)
-		opts.RNG = rng.New(st.RNGState)
-		startIter = st.Iter + 1
-		// Re-apply the stop conditions the uninterrupted run checked right
-		// after this iteration, so resuming from a final checkpoint returns
-		// the same Result instead of running extra iterations.
-		if (opts.TargetValue > 0 && overallBest >= opts.TargetValue) || h < opts.MinStep {
-			return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, nil
-		}
-	} else {
-		if err := ctxErr(opts.Context); err != nil {
-			return Result{}, err
-		}
-		best = ev.one(center)
-		overallBest = best
-		overallX = append([]float64(nil), center...)
+	eng := newIFEngine(engineConfigFromOptions(x0, opts), IFSpecFromOptions(opts))
+	drv, err := driveOptionsFromOptions(f, opts)
+	if err != nil {
+		return Result{}, err
 	}
-
-	for iter := startIter; iter <= opts.MaxIterations; iter++ {
-		if err := ctxErr(opts.Context); err != nil {
-			return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, err
-		}
-		if ev.remaining(opts.MaxEvals) <= 0 {
-			break
-		}
-		sp := opts.Recorder.Span("opt", "iteration")
-		if !opts.NoResampleCenter {
-			best = ev.one(center)
-			oo.resamples.Inc()
-		}
-		iterBest := best
-		nextCenter := center
-		moved := false
-
-		nProbes := opts.Directions
-		if rem := ev.remaining(opts.MaxEvals); nProbes > rem {
-			nProbes = rem
-		}
-		probes := make([][]float64, 0, nProbes)
-		for d := 0; d < nProbes; d++ {
-			dir := randomDirection(opts.RNG, dim)
-			cand := make([]float64, dim)
-			for i := range cand {
-				cand[i] = center[i] + dir[i]*h
-			}
-			clampTo(cand, opts.Lo, opts.Hi)
-			probes = append(probes, cand)
-		}
-		for d, val := range ev.all(probes) {
-			if val > iterBest {
-				iterBest = val
-				nextCenter = probes[d]
-				moved = true
-			}
-		}
-
-		if moved {
-			center = nextCenter
-			best = iterBest
-		} else {
-			h /= 2
-			oo.halvings.Inc()
-		}
-		if iterBest > overallBest {
-			overallBest = iterBest
-			overallX = append([]float64(nil), nextCenter...)
-		}
-		rec := IterRecord{Iter: iter, Best: iterBest, Step: h, Moved: moved, Evals: ev.evals}
-		history = append(history, rec)
-		if sp != nil {
-			sp.SetArg("iter", iter)
-			sp.SetArg("best", iterBest)
-			sp.SetArg("moved", moved)
-			sp.End()
-		}
-		oo.iter("implicit_filtering", rec, overallBest)
-
-		if opts.Checkpoint != nil {
-			st := IterState{
-				Iter:        iter,
-				Center:      append([]float64(nil), center...),
-				Best:        best,
-				Step:        h,
-				OverallBest: overallBest,
-				OverallX:    append([]float64(nil), overallX...),
-				Evals:       ev.evals,
-				RNGState:    opts.RNG.State(),
-				History:     append([]IterRecord(nil), history...),
-			}
-			if err := opts.Checkpoint(st); err != nil {
-				return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, err
-			}
-		}
-
-		if opts.TargetValue > 0 && overallBest >= opts.TargetValue {
-			break
-		}
-		if h < opts.MinStep {
-			break
-		}
-	}
-	return Result{X: overallX, Value: overallBest, Evals: ev.evals, History: history}, nil
+	return Drive(eng, drv)
 }
 
 // RandomSearch maximizes f by uniform sampling of the box — the

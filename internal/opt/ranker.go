@@ -1,0 +1,355 @@
+package opt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// RankerSpec holds the supervised test-selection engine's knobs: an
+// online ridge regression that predicts the objective (novel coverage
+// per candidate) from past hit statistics, after Masamba & Eder. The
+// cross-campaign knowledge base's harvested (weights, score) pairs are
+// folded into the model before the first proposal, so a warm daemon
+// ranks candidates usefully from round one.
+type RankerSpec struct {
+	// Iterations bounds the proposal rounds (default 50).
+	Iterations int `json:"iterations,omitempty"`
+	// Candidates is the scored pool size per round (default 128).
+	Candidates int `json:"candidates,omitempty"`
+	// Explore is the fraction of each batch drawn uniformly at random
+	// instead of by predicted rank (default 0.25).
+	Explore float64 `json:"explore,omitempty"`
+	// Ridge is the L2 regularizer on the regression weights (default 1).
+	Ridge float64 `json:"ridge,omitempty"`
+}
+
+func (s RankerSpec) withDefaults() RankerSpec {
+	if s.Iterations <= 0 {
+		s.Iterations = 50
+	}
+	if s.Candidates <= 0 {
+		s.Candidates = 128
+	}
+	if s.Explore <= 0 || s.Explore >= 1 {
+		s.Explore = 0.25
+	}
+	if s.Ridge <= 0 {
+		s.Ridge = 1
+	}
+	return s
+}
+
+func init() {
+	Register(EngineDef{
+		Name: "ranker",
+		Make: func(cfg EngineConfig, params json.RawMessage) (Engine, error) {
+			var spec RankerSpec
+			if err := decodeParams(params, &spec); err != nil {
+				return nil, err
+			}
+			return newRankerEngine(cfg, spec), nil
+		},
+		Params: func() any { return new(RankerSpec) },
+	})
+}
+
+type rankerEngine struct {
+	spec        RankerSpec
+	lo, hi      float64
+	maxEvals    int
+	targetValue float64
+	rng         *rng.RNG
+	rec         *obs.Recorder
+	mEvals      *obs.Counter
+	oo          optObs
+
+	dim  int
+	nfea int // 1 + 2*dim: bias, linear, quadratic per coordinate
+	x0   []float64
+
+	// Ridge-regression normal equations, accumulated online:
+	// a = Ridge*I + sum phi phi^T, b = sum y*phi.
+	a []float64
+	b []float64
+
+	priorBest []float64 // best knowledge-base point, exploited directly
+
+	iter    int
+	evals   int
+	best    float64
+	bestX   []float64
+	history []IterRecord
+	done    bool
+	pending [][]float64
+}
+
+func newRankerEngine(cfg EngineConfig, spec RankerSpec) *rankerEngine {
+	cfg = cfg.withDefaults()
+	spec = spec.withDefaults()
+	dim := len(cfg.X0)
+	e := &rankerEngine{
+		spec:        spec,
+		lo:          cfg.Lo,
+		hi:          cfg.Hi,
+		maxEvals:    cfg.MaxEvals,
+		targetValue: cfg.TargetValue,
+		rng:         cfg.RNG,
+		rec:         cfg.Recorder,
+		mEvals:      cfg.Recorder.Counter("opt.evals"),
+		oo:          newOptObs(cfg.Recorder),
+		dim:         dim,
+		nfea:        1 + 2*dim,
+		x0:          append([]float64(nil), cfg.X0...),
+	}
+	clampTo(e.x0, e.lo, e.hi)
+	e.a = make([]float64, e.nfea*e.nfea)
+	e.b = make([]float64, e.nfea)
+	for i := 0; i < e.nfea; i++ {
+		e.a[i*e.nfea+i] = spec.Ridge
+	}
+	priorBestVal := math.Inf(-1)
+	for _, p := range cfg.priorInDim(dim) {
+		e.learn(p.X, p.Value)
+		if p.Value > priorBestVal {
+			priorBestVal = p.Value
+			e.priorBest = p.X
+		}
+	}
+	return e
+}
+
+func (e *rankerEngine) Name() string { return "ranker" }
+
+// features maps a point to [1, z_i..., z_i^2...] over the unit box.
+func (e *rankerEngine) features(x []float64) []float64 {
+	w := e.hi - e.lo
+	phi := make([]float64, e.nfea)
+	phi[0] = 1
+	for i, v := range x {
+		z := (v - e.lo) / w
+		phi[1+i] = z
+		phi[1+e.dim+i] = z * z
+	}
+	return phi
+}
+
+// learn folds one (point, value) pair into the normal equations.
+func (e *rankerEngine) learn(x []float64, y float64) {
+	phi := e.features(x)
+	for i := 0; i < e.nfea; i++ {
+		for j := 0; j < e.nfea; j++ {
+			e.a[i*e.nfea+j] += phi[i] * phi[j]
+		}
+		e.b[i] += y * phi[i]
+	}
+}
+
+// weights solves the normal equations for the current model.
+func (e *rankerEngine) weights() []float64 {
+	l := append([]float64(nil), e.a...)
+	cholFactor(l, e.nfea)
+	return cholSolve(l, e.nfea, e.b)
+}
+
+func (e *rankerEngine) predict(w, x []float64) float64 {
+	phi := e.features(x)
+	s := 0.0
+	for i, wi := range w {
+		s += wi * phi[i]
+	}
+	return s
+}
+
+func (e *rankerEngine) randomPoint() []float64 {
+	x := make([]float64, e.dim)
+	for i := range x {
+		x[i] = e.lo + e.rng.Float64()*(e.hi-e.lo)
+	}
+	return x
+}
+
+func (e *rankerEngine) jitterAround(x []float64) []float64 {
+	scale := (e.hi - e.lo) / 10
+	c := make([]float64, e.dim)
+	for i := range c {
+		c[i] = x[i] + e.rng.NormFloat64()*scale
+	}
+	clampTo(c, e.lo, e.hi)
+	return c
+}
+
+func (e *rankerEngine) Propose(_ context.Context, n int) ([][]float64, error) {
+	if e.pending != nil {
+		return nil, fmt.Errorf("opt: %s: Propose before Observe", e.Name())
+	}
+	if e.done || e.iter >= e.spec.Iterations {
+		e.done = true
+		return nil, nil
+	}
+	batch := n
+	if batch <= 0 {
+		batch = 4
+	}
+	if e.maxEvals > 0 {
+		if rem := e.maxEvals - e.evals; batch > rem {
+			batch = rem
+		}
+	}
+	if batch <= 0 {
+		e.done = true
+		return nil, nil
+	}
+
+	pts := make([][]float64, 0, batch)
+	if e.evals == 0 {
+		// Round 1 pays for the caller's starting point first, and — the
+		// warm-start payoff — the knowledge base's best point next.
+		pts = append(pts, append([]float64(nil), e.x0...))
+		if e.priorBest != nil && len(pts) < batch {
+			pts = append(pts, append([]float64(nil), e.priorBest...))
+		}
+	}
+	nExplore := int(float64(batch) * e.spec.Explore)
+	nRank := batch - len(pts) - nExplore
+	if nRank < 0 {
+		nRank = 0
+	}
+	if nRank > 0 {
+		pts = append(pts, e.rank(nRank)...)
+	}
+	for len(pts) < batch {
+		pts = append(pts, e.randomPoint())
+	}
+	e.pending = pts
+	e.evals += len(pts)
+	e.mEvals.Add(uint64(len(pts)))
+	return pts, nil
+}
+
+// rank scores a candidate pool with the regression model and returns
+// the top n by predicted value (ties broken by candidate index, so the
+// selection is deterministic).
+func (e *rankerEngine) rank(n int) [][]float64 {
+	cands := make([][]float64, 0, e.spec.Candidates)
+	for _, anchor := range [][]float64{e.bestX, e.priorBest} {
+		if anchor == nil {
+			continue
+		}
+		cands = append(cands, append([]float64(nil), anchor...))
+		for i := 0; i < e.spec.Candidates/8; i++ {
+			cands = append(cands, e.jitterAround(anchor))
+		}
+	}
+	if len(cands) == 0 {
+		for i := 0; i < e.spec.Candidates/8; i++ {
+			cands = append(cands, e.jitterAround(e.x0))
+		}
+	}
+	for len(cands) < e.spec.Candidates {
+		cands = append(cands, e.randomPoint())
+	}
+	w := e.weights()
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ranked := make([]scored, len(cands))
+	for i, c := range cands {
+		ranked[i] = scored{idx: i, score: e.predict(w, c)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].idx < ranked[j].idx
+	})
+	pts := make([][]float64, 0, n)
+	for _, r := range ranked {
+		if len(pts) == n {
+			break
+		}
+		pts = append(pts, cands[r.idx])
+	}
+	return pts
+}
+
+func (e *rankerEngine) Observe(values []float64) error {
+	if e.pending == nil {
+		return fmt.Errorf("opt: %s: Observe without Propose", e.Name())
+	}
+	if len(values) != len(e.pending) {
+		return fmt.Errorf("opt: %s: %d values for %d points", e.Name(), len(values), len(e.pending))
+	}
+	roundBest := math.Inf(-1)
+	for i, v := range values {
+		x := e.pending[i]
+		e.learn(x, v)
+		if v > roundBest {
+			roundBest = v
+		}
+		if e.bestX == nil || v > e.best {
+			e.best = v
+			e.bestX = append([]float64(nil), x...)
+		}
+	}
+	e.pending = nil
+	e.iter++
+	rec := IterRecord{Iter: e.iter, Best: roundBest, Evals: e.evals}
+	e.history = append(e.history, rec)
+	e.oo.iter(e.Name(), rec, e.best)
+	if e.targetValue > 0 && e.best >= e.targetValue {
+		e.done = true
+	}
+	return nil
+}
+
+func (e *rankerEngine) Result() Result {
+	return Result{X: e.bestX, Value: e.best, Evals: e.evals, History: e.history}
+}
+
+type rankerState struct {
+	Iter     int          `json:"iter"`
+	Evals    int          `json:"evals"`
+	A        []float64    `json:"a"`
+	B        []float64    `json:"b"`
+	Best     float64      `json:"best"`
+	BestX    []float64    `json:"best_x"`
+	RNGState uint64       `json:"rng_state"`
+	History  []IterRecord `json:"history"`
+}
+
+func (e *rankerEngine) Checkpoint() (json.RawMessage, error) {
+	if e.iter == 0 || e.pending != nil {
+		return nil, nil
+	}
+	return json.Marshal(rankerState{
+		Iter: e.iter, Evals: e.evals, A: e.a, B: e.b,
+		Best: e.best, BestX: e.bestX, RNGState: e.rng.State(), History: e.history,
+	})
+}
+
+func (e *rankerEngine) Restore(state json.RawMessage) error {
+	var st rankerState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if len(st.A) != e.nfea*e.nfea || len(st.B) != e.nfea {
+		return fmt.Errorf("opt: %s: checkpoint model size mismatch", e.Name())
+	}
+	e.iter = st.Iter
+	e.evals = st.Evals
+	e.a = st.A
+	e.b = st.B
+	e.best = st.Best
+	e.bestX = st.BestX
+	e.rng = rng.New(st.RNGState)
+	e.history = append(e.history[:0], st.History...)
+	e.done = e.targetValue > 0 && e.bestX != nil && e.best >= e.targetValue
+	return nil
+}

@@ -1,12 +1,15 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/duv"
+	"repro/internal/opt"
 )
 
 // Spec is a campaign submission: which unit to drive, what coverage to
@@ -41,9 +44,31 @@ type Spec struct {
 	// daemon's -tenant-weights configuration; unknown tenants weigh 1.
 	Tenant string `json:"tenant,omitempty"`
 
+	// Engine selects the optimization engine (nil: the paper's default,
+	// implicit filtering, exactly as before the field existed).
+	Engine *EngineSpec `json:"engine,omitempty"`
+
 	// Config overrides individual flow budgets; zero fields keep the
 	// flow's defaults.
 	Config SpecConfig `json:"config,omitempty"`
+}
+
+// EngineSpec selects and parameterizes the campaign's optimization
+// engine. Name must be registered (opt.EngineNames()); Params is the
+// engine's own knob object, validated strictly at admission so a typo
+// fails the submission with the full key list instead of being silently
+// ignored mid-campaign.
+type EngineSpec struct {
+	Name   string          `json:"name,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+
+	// Knowledge opts the campaign into the cross-campaign flywheel: at
+	// start it reads the knowledge base — harvested (weights, score)
+	// pairs become the engine's warm-start prior, damped per-template
+	// scores boost the coarse-grained TAC ranking — and the consumed
+	// snapshot is frozen in the campaign directory so a resumed campaign
+	// sees byte-identical priors.
+	Knowledge bool `json:"knowledge,omitempty"`
 }
 
 // SpecConfig is the subset of core.Config a campaign may override,
@@ -96,6 +121,31 @@ func (s Spec) seed() uint64 {
 	return s.Seed
 }
 
+// engineName is the campaign's resolved engine — the metrics label and
+// the name replayed journals are verified against.
+func (s Spec) engineName() string {
+	if s.Engine == nil || s.Engine.Name == "" {
+		return opt.DefaultEngine
+	}
+	return s.Engine.Name
+}
+
+func (s Spec) useKnowledge() bool {
+	return s.Engine != nil && s.Engine.Knowledge
+}
+
+// targetDesc renders the campaign's target mode for knowledge entries.
+func (s Spec) targetDesc() string {
+	switch {
+	case s.Family != "":
+		return "family:" + s.Family
+	case s.Cross != "":
+		return "cross:" + s.Cross
+	default:
+		return "events:" + strings.Join(s.Events, ",")
+	}
+}
+
 // validate rejects malformed submissions before they consume a
 // campaign id. Target names (family, cross, event names) are validated
 // by the flow itself at run time — the unit must exist, though, so a
@@ -129,6 +179,11 @@ func (s Spec) validate() error {
 			return fmt.Errorf("service: spec: invalid tenant name %q", s.Tenant)
 		}
 	}
+	if s.Engine != nil {
+		if err := opt.Validate(s.Engine.Name, s.Engine.Params); err != nil {
+			return fmt.Errorf("service: spec: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -138,7 +193,7 @@ func (s Spec) coreConfig(defaultWorkers int) core.Config {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
-	return core.Config{
+	cfg := core.Config{
 		Seed:                  s.seed(),
 		Workers:               workers,
 		CorpusSimsPerTemplate: s.Config.CorpusSims,
@@ -151,6 +206,11 @@ func (s Spec) coreConfig(defaultWorkers int) core.Config {
 		OptSims:               s.Config.OptSims,
 		BestSims:              s.Config.BestSims,
 	}
+	if s.Engine != nil {
+		cfg.Engine = s.Engine.Name
+		cfg.EngineParams = s.Engine.Params
+	}
+	return cfg
 }
 
 // State is a campaign's externally visible record: the submission, its

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/knowledge"
 	"repro/internal/obs"
 )
 
@@ -21,6 +22,7 @@ import (
 //	GET    /v1/campaigns/{id}/events live JSONL progress  → 200 application/jsonl stream
 //	DELETE /v1/campaigns/{id}        cancel               → 200 State
 //	GET    /v1/scheduler             fair-share snapshot  → 200 SchedulerInfo
+//	GET    /v1/knowledge             cross-campaign base  → 200 {count, entries}
 //
 // A full queue rejects submissions with 429 and a Retry-After header;
 // malformed specs get 400; unknown ids get 404.
@@ -38,6 +40,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scheduler", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Scheduler())
 	})
+	mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
 	health := obs.NewHealth()
 	health.Set("service", s.Ready)
 	var reg *obs.Registry
@@ -84,6 +87,23 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.List())
+}
+
+// handleKnowledge serves the merged cross-campaign knowledge base —
+// every replica sees the same entries, so any replica can answer.
+func (s *Service) handleKnowledge(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.Knowledge()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	if entries == nil {
+		entries = []knowledge.Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(entries),
+		"entries": entries,
+	})
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -44,8 +44,10 @@ import (
 	"repro/internal/duv"
 	"repro/internal/failpoint"
 	"repro/internal/farm"
+	"repro/internal/knowledge"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/sim"
 )
 
@@ -204,6 +206,7 @@ type Service struct {
 	rec    *obs.Recorder
 	log    *slog.Logger
 	leases *lease.Manager
+	know   *knowledge.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -240,6 +243,11 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	know, err := knowledge.Open(filepath.Join(cfg.DataDir, "knowledge"), cfg.Owner, cfg.Rec, cfg.Log)
+	if err != nil {
+		leases.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:               cfg,
@@ -247,6 +255,7 @@ func New(cfg Config) (*Service, error) {
 		rec:               cfg.Rec,
 		log:               obs.OrNop(cfg.Log),
 		leases:            leases,
+		know:              know,
 		baseCtx:           ctx,
 		baseCancel:        cancel,
 		campaigns:         map[string]*campaign{},
@@ -258,6 +267,7 @@ func New(cfg Config) (*Service, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.scan(true); err != nil {
 		cancel()
+		know.Close()
 		leases.Close()
 		return nil, err
 	}
@@ -292,7 +302,9 @@ func (s *Service) scan(initial bool) error {
 	}
 	var adopt []candidate
 	for _, e := range entries {
-		if !e.IsDir() {
+		// Campaign directories are the allocator's c<number> names; the
+		// shared knowledge base (and any foreign directory) is not one.
+		if !e.IsDir() || idNumber(e.Name()) == 0 {
 			continue
 		}
 		id := e.Name()
@@ -445,6 +457,11 @@ func (s *Service) janitor() {
 		}
 		if err := s.scan(false); err != nil {
 			s.log.Warn("service: janitor scan failed", "err", err)
+		}
+		// Merge the fleet's knowledge journals into the compacted
+		// snapshot, so external consumers read one file.
+		if err := s.know.Compact(); err != nil {
+			s.log.Warn("service: knowledge compaction failed", "err", err)
 		}
 		s.mu.Lock()
 		s.updateGaugesLocked()
@@ -605,6 +622,7 @@ func (s *Service) Submit(spec Spec) (string, error) {
 	s.sched.push(tenant, id)
 	s.counter("service.submitted").Inc()
 	s.tenantCounter("service.submitted", tenant).Inc()
+	s.engineCounter("service.submitted", spec.engineName()).Inc()
 	s.updateGaugesLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
@@ -842,6 +860,7 @@ func (s *Service) Close() {
 	s.log.Info("service: draining")
 	s.baseCancel()
 	s.wg.Wait()
+	s.know.Close()
 	s.leases.Close()
 	s.log.Info("service: drained")
 }
@@ -981,6 +1000,7 @@ func (s *Service) runCampaign(c *campaign, tenant string, h *lease.Handle, ctx c
 			s.counter("service.failed").Inc()
 			break
 		}
+		s.feedKnowledge(c.st.ID, c.st.Spec, reports, h)
 		c.st.State = StateDone
 		c.st.FinishedAt = now()
 		c.st.Reports = reports
@@ -989,6 +1009,7 @@ func (s *Service) runCampaign(c *campaign, tenant string, h *lease.Handle, ctx c
 		state = c.st.State
 		s.counter("service.completed").Inc()
 		s.tenantCounter("service.completed", tenant).Inc()
+		s.engineCounter("service.completed", c.st.Spec.engineName()).Inc()
 	case interrupted && byUser:
 		c.st.State = StateCanceled
 		c.st.FinishedAt = now()
@@ -1013,6 +1034,7 @@ func (s *Service) runCampaign(c *campaign, tenant string, h *lease.Handle, ctx c
 		state = c.st.State
 		s.counter("service.failed").Inc()
 		s.tenantCounter("service.failed", tenant).Inc()
+		s.engineCounter("service.failed", c.st.Spec.engineName()).Inc()
 	}
 	c.mu.Unlock()
 	h.Release()
@@ -1069,6 +1091,14 @@ func (s *Service) executeFlow(c *campaign, h *lease.Handle, ctx context.Context)
 	}
 
 	cfg := spec.coreConfig(s.cfg.Workers)
+	if spec.useKnowledge() {
+		kp, err := s.campaignKnowledge(c, h)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Prior = kp.Prior
+		cfg.TACPrior = kp.TAC
+	}
 	cfg.Obs = rec
 	cfg.Log = s.log.With("campaign", c.st.ID)
 	cfg.Runner = s.cfg.Runner
@@ -1133,6 +1163,126 @@ func (s *Service) tenantGauge(name, tenant string) *obs.Gauge {
 		return nil
 	}
 	return s.rec.Metrics.GaugeWith(name, obs.Labels("tenant", tenant))
+}
+
+// engineCounter is the per-engine labeled series
+// (service.submitted{engine="ranker"}, ...). Engine names come from the
+// registry, so label cardinality is bounded by opt.EngineNames().
+func (s *Service) engineCounter(name, engine string) *obs.Counter {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Metrics.CounterWith(name, obs.Labels("engine", engine))
+}
+
+// Knowledge returns the merged fleet-wide knowledge base (the
+// GET /v1/knowledge body).
+func (s *Service) Knowledge() ([]knowledge.Entry, error) { return s.know.All() }
+
+// maxPriorPoints bounds how many past harvests seed a warm campaign's
+// engine — the best-scoring ones win.
+const maxPriorPoints = 32
+
+// knowledgeSnapshot freezes the priors a campaign consumed at first
+// start. Priors are result-relevant (journal-hashed), so a resumed
+// campaign must read byte-identical ones even after the knowledge base
+// has grown — hence the per-campaign file, not a live query.
+type knowledgeSnapshot struct {
+	Prior []opt.PriorPoint   `json:"prior,omitempty"`
+	TAC   map[string]float64 `json:"tac,omitempty"`
+}
+
+// campaignKnowledge loads the campaign's frozen knowledge snapshot, or
+// computes it from the store on first start and persists it (fenced —
+// only the lease owner may write into the campaign directory).
+func (s *Service) campaignKnowledge(c *campaign, h *lease.Handle) (*knowledgeSnapshot, error) {
+	path := filepath.Join(c.dir, "knowledge.json")
+	if data, err := os.ReadFile(path); err == nil {
+		var kp knowledgeSnapshot
+		if err := json.Unmarshal(data, &kp); err != nil {
+			return nil, fmt.Errorf("service: %s: %w", path, err)
+		}
+		return &kp, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	entries, err := s.know.All()
+	if err != nil {
+		return nil, err
+	}
+	unit := c.st.Spec.Unit
+	kp := &knowledgeSnapshot{
+		Prior: knowledge.Priors(entries, unit, maxPriorPoints),
+		TAC:   knowledge.TACBoosts(entries, unit, knowledge.DefaultDamp),
+	}
+	if err := h.Verify(); err != nil {
+		return nil, err
+	}
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(kp)
+	}); err != nil {
+		return nil, err
+	}
+	return kp, nil
+}
+
+// feedKnowledge appends the campaign's harvests to the knowledge base.
+// Fenced like every terminal write: a stale owner must not feed — its
+// adopter will, and (campaign, round) keying deduplicates a replayed
+// feed anyway.
+func (s *Service) feedKnowledge(id string, spec Spec, reports []*ReportJSON, h *lease.Handle) {
+	entries := knowledgeEntries(id, spec, reports)
+	if len(entries) == 0 {
+		return
+	}
+	if h.Verify() != nil {
+		return
+	}
+	if err := s.know.Add(entries); err != nil {
+		s.log.Warn("service: knowledge feed failed", "campaign", id, "err", err)
+		return
+	}
+	s.log.Debug("service: knowledge fed", "campaign", id, "entries", len(entries))
+}
+
+// knowledgeEntries projects finished reports into knowledge entries:
+// one per round, scored by the harvest's standalone evaluation (the
+// "best" phase) as mean per-target-event hits per simulation.
+func knowledgeEntries(id string, spec Spec, reports []*ReportJSON) []knowledge.Entry {
+	var entries []knowledge.Entry
+	for round, r := range reports {
+		var best *PhaseJSON
+		for i := range r.Phases {
+			if r.Phases[i].Name == "best" {
+				best = &r.Phases[i]
+			}
+		}
+		if best == nil || best.Sims == 0 || len(best.TargetHits) == 0 || len(r.BestWeights) == 0 {
+			continue
+		}
+		var hits uint64
+		for _, n := range best.TargetHits {
+			hits += n
+		}
+		sources := make([]string, 0, len(r.ChosenTemplates))
+		for _, ts := range r.ChosenTemplates {
+			sources = append(sources, ts.Name)
+		}
+		entries = append(entries, knowledge.Entry{
+			Campaign: id,
+			Round:    round,
+			Unit:     spec.Unit,
+			Target:   spec.targetDesc(),
+			Template: fmt.Sprintf("%s_r%d_best", id, round),
+			Weights:  r.BestWeights,
+			Score:    float64(hits) / (float64(best.Sims) * float64(len(best.TargetHits))),
+			Sims:     best.Sims,
+			Sources:  sources,
+		})
+	}
+	return entries
 }
 
 func now() *time.Time {
